@@ -1,0 +1,98 @@
+"""Shared machinery for the figure/table benchmarks.
+
+Every benchmark regenerates one table or figure of the paper at laptop
+scale: smaller row counts and budgets than the original cluster runs, but
+the same workloads, methods, and reporting axes. Each run writes its
+paper-style series to ``benchmarks/results/<name>.txt`` (and prints it),
+so EXPERIMENTS.md can quote the measured numbers.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments import (
+    Configuration,
+    f1_advantage_curves,
+    format_series,
+    run_configuration,
+)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+# Laptop-scale defaults (the paper: full Table 1 sizes, budget 50, 1 % step).
+N_ROWS = 240
+BUDGET = 16.0
+STEP = 0.02
+GRID = np.arange(0.0, BUDGET + 1.0)
+RR_REPEATS = 2
+
+ERROR_NAMES = ("categorical", "noise", "missing", "scaling")
+ERROR_LABELS = {
+    "categorical": "Categorical Shift",
+    "noise": "Gaussian Noise",
+    "missing": "Missing Values",
+    "scaling": "Scaling",
+}
+PREPOLLUTED_DATASETS = ("cmc", "churn", "eeg", "s-credit")
+CLEANML_CASES = (("airbnb", "scaling"), ("credit", "scaling"), ("titanic", "missing"))
+
+
+def comparison_config(
+    dataset: str,
+    algorithm: str,
+    error_types,
+    cost_model: str = "uniform",
+    cleanml: bool = False,
+    budget: float = BUDGET,
+    n_rows: int = N_ROWS,
+) -> Configuration:
+    return Configuration(
+        dataset=dataset,
+        algorithm=algorithm,
+        error_types=tuple(error_types),
+        n_rows=n_rows,
+        budget=budget,
+        step=STEP,
+        cost_model=cost_model,
+        cleanml=cleanml,
+        rr_repeats=RR_REPEATS,
+    )
+
+
+def advantage_lines(
+    config: Configuration,
+    methods,
+    n_settings: int = 1,
+    seed: int = 0,
+    grid: np.ndarray | None = None,
+) -> tuple[list[str], dict]:
+    """Run a comparison and format COMET's advantage series per baseline."""
+    grid = GRID if grid is None else grid
+    results = run_configuration(
+        config, methods=("comet", *methods), n_settings=n_settings, seed=seed
+    )
+    curves = f1_advantage_curves(results, grid)
+    lines = [
+        format_series(f"{config.dataset}/{config.algorithm} vs {m.upper()}", grid, c)
+        for m, c in curves.items()
+    ]
+    return lines, {"results": results, "curves": curves}
+
+
+def applicable_errors(dataset: str) -> tuple[str, ...]:
+    """Error types applicable to a dataset (EEG has no categoricals)."""
+    if dataset == "eeg":
+        return tuple(e for e in ERROR_NAMES if e != "categorical")
+    return ERROR_NAMES
+
+
+def report(name: str, title: str, lines) -> str:
+    """Write a benchmark's series to results/<name>.txt and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = f"# {title}\n" + "\n".join(lines) + "\n"
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    print(f"\n{text}")
+    return text

@@ -1,0 +1,45 @@
+"""Ablation: sensitivity of COMET to the Estimator's probing effort —
+number of pollution steps and sampled cell combinations (DESIGN.md §5).
+
+More probing means better estimates but more model fits per iteration;
+this bench reports the quality/runtime trade-off.
+"""
+
+import time
+
+import numpy as np
+from _helpers import comparison_config, report
+
+from repro.core import CometConfig
+from repro.experiments import build_polluted, run_method
+
+_GRID = np.arange(0.0, 9.0)
+
+
+def test_ablation_pollution(benchmark):
+    config = comparison_config("cmc", "lor", ("missing",), budget=8.0, n_rows=200)
+
+    def run():
+        polluted = build_polluted(config, seed=0)
+        rows = []
+        for n_steps, n_combinations in [(1, 1), (2, 1), (3, 1), (2, 2)]:
+            config.comet_config = CometConfig(
+                step=config.step,
+                n_pollution_steps=n_steps,
+                n_combinations=n_combinations,
+            )
+            start = time.perf_counter()
+            trace = run_method("comet", polluted, config, rng=0)
+            elapsed = time.perf_counter() - start
+            rows.append((n_steps, n_combinations, trace.f1_at(_GRID).mean(), elapsed))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        f"steps={s} combos={c}: mean-F1={f1:.4f} runtime={t:6.2f}s"
+        for s, c, f1, t in rows
+    ]
+    report("ablation_pollution", "Ablation: pollution probing effort", lines)
+    # More probing must cost more runtime (sanity of the trade-off axis).
+    assert rows[3][3] > rows[0][3] * 0.8
+    assert all(np.isfinite(r[2]) for r in rows)

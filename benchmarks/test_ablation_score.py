@@ -1,0 +1,53 @@
+"""Ablations of the Recommender's design choices (DESIGN.md §5).
+
+(1) the uncertainty term in Eq. 4 — ``(gain − U)/C`` vs ``gain/C``;
+(2) the revert-on-decrease strategy with the cleaning buffer.
+
+Reported as final-F1 and mean-F1 per variant on the same pre-pollution
+settings; the full COMET configuration should be at least competitive with
+each ablated variant.
+"""
+
+import numpy as np
+from _helpers import comparison_config, report
+
+from repro.core import CometConfig
+from repro.experiments import average_curve, build_polluted, run_method
+
+_GRID = np.arange(0.0, 11.0)
+
+
+def _variant_curve(polluted, config, comet_config):
+    config.comet_config = comet_config
+    traces = [run_method("comet", polluted, config, rng=r) for r in range(2)]
+    return average_curve(traces, _GRID)
+
+
+def test_ablation_score(benchmark):
+    config = comparison_config("cmc", "svm", ("missing",), budget=10.0, n_rows=200)
+
+    def run():
+        curves = {}
+        for seed in (0, 1):
+            polluted = build_polluted(config, seed=seed)
+            variants = {
+                "full": CometConfig(step=config.step),
+                "no-uncertainty": CometConfig(step=config.step, use_uncertainty=False),
+                "no-revert": CometConfig(step=config.step, revert_on_decrease=False),
+                "no-adjustment": CometConfig(step=config.step, adjust_predictions=False),
+            }
+            for name, comet_config in variants.items():
+                curve = _variant_curve(polluted, config, comet_config)
+                curves.setdefault(name, []).append(curve)
+        return {name: np.mean(cs, axis=0) for name, cs in curves.items()}
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        f"{name:16s} mean={curve.mean():+.4f} final={curve[-1]:+.4f}"
+        for name, curve in curves.items()
+    ]
+    report("ablation_score", "Ablation: Recommender design choices", lines)
+    # The full configuration must not be badly dominated by any ablation.
+    full = curves["full"].mean()
+    for name, curve in curves.items():
+        assert full > curve.mean() - 0.05, f"full COMET dominated by {name}"

@@ -1,0 +1,41 @@
+"""Figure 5: COMET vs FIR/RR/CL for MLP, one error type at a time, constant
+costs, on the four pre-polluted datasets.
+
+The paper notes MLP is COMET's weakest algorithm, so this grid is its
+worst-case comparison; advantages are smaller but still mostly positive.
+EEG skips categorical shift (numeric-only data).
+"""
+
+import numpy as np
+import pytest
+from _helpers import (
+    PREPOLLUTED_DATASETS,
+    advantage_lines,
+    applicable_errors,
+    comparison_config,
+    report,
+)
+
+
+@pytest.mark.parametrize("dataset", PREPOLLUTED_DATASETS)
+def test_fig05(benchmark, dataset):
+    def run():
+        all_lines = []
+        means = []
+        for error in applicable_errors(dataset):
+            config = comparison_config(
+                dataset, "mlp", (error,), budget=10.0, n_rows=200
+            )
+            lines, data = advantage_lines(
+                config, methods=("fir", "rr", "cl"), n_settings=1,
+                grid=np.arange(0.0, 11.0),
+            )
+            all_lines.append(f"[{error}]")
+            all_lines.extend(lines)
+            means.append(np.mean([c.mean() for c in data["curves"].values()]))
+        return all_lines, means
+
+    lines, means = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(f"fig05_{dataset}", f"Figure 5 ({dataset}): COMET vs FIR/RR/CL, MLP, single error", lines)
+    # Worst-case algorithm: demand only that COMET is not badly dominated.
+    assert np.mean(means) > -0.05

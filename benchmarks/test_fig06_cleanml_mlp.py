@@ -1,0 +1,27 @@
+"""Figure 6: COMET vs FIR/RR/CL for MLP on the CleanML datasets
+(Airbnb/scaling, Credit/scaling, Titanic/missing values)."""
+
+import numpy as np
+import pytest
+from _helpers import CLEANML_CASES, advantage_lines, comparison_config, report
+
+
+@pytest.mark.parametrize("dataset,error", CLEANML_CASES)
+def test_fig06(benchmark, dataset, error):
+    config = comparison_config(
+        dataset, "mlp", (error,), cleanml=True, budget=10.0, n_rows=200
+    )
+
+    def run():
+        return advantage_lines(
+            config, methods=("fir", "rr", "cl"), n_settings=1,
+            grid=np.arange(0.0, 11.0),
+        )
+
+    lines, data = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        f"fig06_{dataset}",
+        f"Figure 6 ({dataset} - {error}): COMET vs FIR/RR/CL, MLP, CleanML",
+        lines,
+    )
+    assert all(np.isfinite(c).all() for c in data["curves"].values())

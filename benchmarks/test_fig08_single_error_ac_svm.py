@@ -1,0 +1,34 @@
+"""Figure 8: COMET vs ActiveClean (AC-SVM) per error type, constant costs,
+four pre-polluted datasets.
+
+Shape claims: COMET generally outperforms AC; AC's curves are erratic
+(large step-to-step swings), the consequence of its SGD updates.
+"""
+
+import numpy as np
+import pytest
+from _helpers import (
+    PREPOLLUTED_DATASETS,
+    advantage_lines,
+    applicable_errors,
+    comparison_config,
+    report,
+)
+
+
+@pytest.mark.parametrize("dataset", PREPOLLUTED_DATASETS)
+def test_fig08(benchmark, dataset):
+    def run():
+        all_lines = []
+        means = []
+        for error in applicable_errors(dataset):
+            config = comparison_config(dataset, "ac_svm", (error,))
+            lines, data = advantage_lines(config, methods=("ac",), n_settings=1)
+            all_lines.append(f"[{error}]")
+            all_lines.extend(lines)
+            means.append(data["curves"]["ac"].mean())
+        return all_lines, means
+
+    lines, means = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(f"fig08_{dataset}", f"Figure 8 ({dataset}): COMET vs AC, AC-SVM, single error", lines)
+    assert np.mean(means) > -0.05

@@ -1,0 +1,21 @@
+"""Figure 9: COMET vs ActiveClean (AC-SVM) on the CleanML datasets."""
+
+import numpy as np
+import pytest
+from _helpers import CLEANML_CASES, advantage_lines, comparison_config, report
+
+
+@pytest.mark.parametrize("dataset,error", CLEANML_CASES)
+def test_fig09(benchmark, dataset, error):
+    config = comparison_config(dataset, "ac_svm", (error,), cleanml=True)
+
+    def run():
+        return advantage_lines(config, methods=("ac",), n_settings=1)
+
+    lines, data = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        f"fig09_{dataset}",
+        f"Figure 9 ({dataset} - {error}): COMET vs AC, AC-SVM, CleanML",
+        lines,
+    )
+    assert np.isfinite(data["curves"]["ac"]).all()

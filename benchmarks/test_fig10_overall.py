@@ -1,0 +1,68 @@
+"""Figure 10: overall performance of COMET.
+
+(a) mean F1 advantage grouped by ML algorithm — GB/KNN/MLP/SVM against
+FIR+RR+CL, and AC-SVM/LIR/LOR against AC;
+(b) mean F1 advantage grouped by error type (single-error scenario).
+
+Shape claims: the advantage over AC (tens of points, LIR largest) clearly
+exceeds the advantage over FIR/RR/CL (a few points); categorical shift and
+missing values give larger advantages than Gaussian noise and scaling.
+"""
+
+import numpy as np
+from _helpers import applicable_errors, comparison_config, report
+
+from repro.experiments import (
+    advantage_by_algorithm,
+    advantage_by_error_type,
+    run_configuration,
+)
+
+_CLASSIC = ("gb", "knn", "mlp", "svm")
+_CONVEX = ("ac_svm", "lir", "lor")
+
+
+def _runs():
+    """A reduced grid: every algorithm on CMC, every error type on EEG+CMC."""
+    runs = []
+    # (a) by algorithm — missing values on CMC.
+    for algorithm in _CLASSIC:
+        config = comparison_config("cmc", algorithm, ("missing",), budget=8.0, n_rows=200)
+        results = run_configuration(config, methods=("comet", "fir", "rr", "cl"), n_settings=1)
+        runs.append(
+            {"algorithm": algorithm, "error_type": "missing", "budget": config.budget,
+             "comet": results["comet"],
+             "baselines": {m: results[m] for m in ("fir", "rr", "cl")}}
+        )
+    for algorithm in _CONVEX:
+        config = comparison_config("cmc", algorithm, ("missing",), budget=8.0, n_rows=200)
+        results = run_configuration(config, methods=("comet", "ac"), n_settings=1)
+        runs.append(
+            {"algorithm": algorithm, "error_type": "missing", "budget": config.budget,
+             "comet": results["comet"], "baselines": {"ac": results["ac"]}}
+        )
+    # (b) by error type — SVM on CMC across all four error types.
+    for error in applicable_errors("cmc"):
+        config = comparison_config("cmc", "svm", (error,), budget=8.0, n_rows=200)
+        results = run_configuration(config, methods=("comet", "fir", "rr", "cl"), n_settings=1, seed=1)
+        runs.append(
+            {"algorithm": "svm", "error_type": error, "budget": config.budget,
+             "comet": results["comet"],
+             "baselines": {m: results[m] for m in ("fir", "rr", "cl")}}
+        )
+    return runs
+
+
+def test_fig10(benchmark):
+    runs = benchmark.pedantic(_runs, rounds=1, iterations=1)
+    by_algorithm = advantage_by_algorithm(runs[: len(_CLASSIC) + len(_CONVEX)])
+    by_error = advantage_by_error_type(runs[len(_CLASSIC) + len(_CONVEX):])
+    lines = ["(a) grouped by ML algorithm"]
+    lines += [f"  {alg:8s} {adv:+.4f}" for alg, adv in by_algorithm.items()]
+    lines += ["(b) grouped by error type"]
+    lines += [f"  {err:12s} {adv:+.4f}" for err, adv in by_error.items()]
+    report("fig10", "Figure 10: overall performance of COMET", lines)
+    # The AC-side advantage should exceed the FIR/RR/CL-side advantage.
+    ac_side = np.mean([by_algorithm[a] for a in _CONVEX])
+    classic_side = np.mean([by_algorithm[a] for a in _CLASSIC])
+    assert ac_side > classic_side

@@ -1,0 +1,40 @@
+"""Figure 12: COMET's first-iteration recommendation runtime per ML
+algorithm and error type.
+
+Shape claims (relative, not absolute — the paper ran a Slurm cluster):
+runtimes scale with the candidate sweep, and categorical-shift/missing
+settings on categorical-heavy data cost more than noise/scaling on the
+same data because one-hot encoding widens the model input.
+"""
+
+import numpy as np
+from _helpers import comparison_config, report
+
+from repro.experiments import first_iteration_runtime
+
+_ALGORITHMS = ("gb", "knn", "mlp", "svm", "lir", "lor")
+_ERRORS = ("categorical", "noise", "missing", "scaling")
+
+
+def test_fig12(benchmark):
+    def run():
+        cells = {}
+        for algorithm in _ALGORITHMS:
+            for error in _ERRORS:
+                config = comparison_config(
+                    "cmc", algorithm, (error,), budget=2.0, n_rows=200
+                )
+                cells[(algorithm, error)] = first_iteration_runtime(config)
+        return cells
+
+    cells = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        f"{algorithm:6s} {error:12s} {seconds:8.3f}s"
+        for (algorithm, error), seconds in cells.items()
+    ]
+    report("fig12", "Figure 12: COMET first-iteration runtimes", lines)
+    assert all(s > 0 for s in cells.values())
+    # KNN/linear models should be far cheaper than the MLP sweep.
+    assert np.mean([cells[("knn", e)] for e in _ERRORS]) < np.mean(
+        [cells[("mlp", e)] for e in _ERRORS]
+    ) * 5

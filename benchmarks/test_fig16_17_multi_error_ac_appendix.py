@@ -1,0 +1,38 @@
+"""Figures 16–17 (appendix): the Figure 4 comparison repeated for LOR and
+AC-SVM — COMET vs ActiveClean, multiple error types, diverse costs.
+
+Reduced grid: CMC and EEG (see EXPERIMENTS.md).
+"""
+
+import numpy as np
+import pytest
+from _helpers import advantage_lines, applicable_errors, comparison_config, report
+
+_FIGURES = {"lor": "fig16", "ac_svm": "fig17"}
+
+
+@pytest.mark.parametrize("algorithm", ["lor", "ac_svm"])
+def test_fig16_17(benchmark, algorithm):
+    def run():
+        all_lines = []
+        means = []
+        for dataset in ("cmc", "eeg"):
+            config = comparison_config(
+                dataset, algorithm, applicable_errors(dataset),
+                cost_model="paper", budget=10.0, n_rows=200,
+            )
+            lines, data = advantage_lines(
+                config, methods=("ac",), n_settings=1, grid=np.arange(0.0, 11.0)
+            )
+            all_lines.extend(lines)
+            means.append(data["curves"]["ac"].mean())
+        return all_lines, means
+
+    lines, means = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        _FIGURES[algorithm],
+        f"Figures 16-17 ({algorithm}): COMET vs AC, multi-error",
+        lines,
+    )
+    # COMET should beat ActiveClean on average across the reduced grid.
+    assert np.mean(means) > -0.02

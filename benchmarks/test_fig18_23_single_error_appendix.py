@@ -1,0 +1,46 @@
+"""Figures 18–23 (appendix): the Figure 5/6 single-error comparison
+repeated for GB, KNN, and SVM, including one CleanML case per algorithm.
+
+Reduced grid: CMC (all applicable error types) + CleanML Titanic/missing
+per algorithm (see EXPERIMENTS.md).
+"""
+
+import numpy as np
+import pytest
+from _helpers import advantage_lines, applicable_errors, comparison_config, report
+
+_FIGURES = {"gb": "fig18_19", "knn": "fig20_21", "svm": "fig22_23"}
+
+
+@pytest.mark.parametrize("algorithm", ["gb", "knn", "svm"])
+def test_fig18_23(benchmark, algorithm):
+    def run():
+        all_lines = []
+        means = []
+        grid = np.arange(0.0, 11.0)
+        for error in applicable_errors("cmc"):
+            config = comparison_config("cmc", algorithm, (error,), budget=10.0, n_rows=200)
+            lines, data = advantage_lines(
+                config, methods=("fir", "rr", "cl"), n_settings=1, grid=grid
+            )
+            all_lines.append(f"[cmc/{error}]")
+            all_lines.extend(lines)
+            means.append(np.mean([c.mean() for c in data["curves"].values()]))
+        config = comparison_config(
+            "titanic", algorithm, ("missing",), cleanml=True, budget=10.0, n_rows=200
+        )
+        lines, data = advantage_lines(
+            config, methods=("fir", "rr", "cl"), n_settings=1, grid=grid
+        )
+        all_lines.append("[cleanml titanic/missing]")
+        all_lines.extend(lines)
+        means.append(np.mean([c.mean() for c in data["curves"].values()]))
+        return all_lines, means
+
+    lines, means = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        _FIGURES[algorithm],
+        f"Figures 18-23 ({algorithm}): COMET vs FIR/RR/CL, single error",
+        lines,
+    )
+    assert np.mean(means) > -0.05

@@ -1,0 +1,42 @@
+"""Figures 24–27 (appendix): the Figure 8/9 AC comparison repeated for LIR
+and LOR, including one CleanML case per algorithm.
+
+Reduced grid: CMC (all applicable error types) + CleanML Credit/scaling
+(see EXPERIMENTS.md).
+"""
+
+import numpy as np
+import pytest
+from _helpers import advantage_lines, applicable_errors, comparison_config, report
+
+_FIGURES = {"lir": "fig24_25", "lor": "fig26_27"}
+
+
+@pytest.mark.parametrize("algorithm", ["lir", "lor"])
+def test_fig24_27(benchmark, algorithm):
+    def run():
+        all_lines = []
+        means = []
+        grid = np.arange(0.0, 11.0)
+        for error in applicable_errors("cmc"):
+            config = comparison_config("cmc", algorithm, (error,), budget=10.0, n_rows=200)
+            lines, data = advantage_lines(config, methods=("ac",), n_settings=1, grid=grid)
+            all_lines.append(f"[cmc/{error}]")
+            all_lines.extend(lines)
+            means.append(data["curves"]["ac"].mean())
+        config = comparison_config(
+            "credit", algorithm, ("scaling",), cleanml=True, budget=10.0, n_rows=200
+        )
+        lines, data = advantage_lines(config, methods=("ac",), n_settings=1, grid=grid)
+        all_lines.append("[cleanml credit/scaling]")
+        all_lines.extend(lines)
+        means.append(data["curves"]["ac"].mean())
+        return all_lines, means
+
+    lines, means = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        _FIGURES[algorithm],
+        f"Figures 24-27 ({algorithm}): COMET vs AC, single error",
+        lines,
+    )
+    assert np.mean(means) > -0.02

@@ -1,0 +1,43 @@
+"""Table 1: overview of the seven datasets.
+
+Regenerates the dataset-characteristics table (#rows, #categorical,
+#numerical, #classes) and verifies the generated data actually matches it.
+"""
+
+from _helpers import report
+
+from repro.datasets import dataset_summaries, load_dataset
+from repro.experiments import format_table
+
+EXPECTED = {
+    "cmc": (1473, 7, 2, 3),
+    "churn": (7032, 16, 3, 2),
+    "eeg": (14980, 0, 14, 2),
+    "s-credit": (1000, 17, 3, 2),
+    "airbnb": (26288, 3, 37, 2),
+    "credit": (11985, 0, 10, 2),
+    "titanic": (891, 6, 2, 2),
+}
+
+
+def test_table1(benchmark):
+    def build():
+        rows = dataset_summaries()
+        # Materialize one (scaled) dataset per entry to verify the schema.
+        for row in rows:
+            frame = load_dataset(row["name"], n_rows=200).frame
+            features = [n for n in frame.column_names if n != "label"]
+            assert len(frame.categorical_columns()) == row["n_categorical"]
+            assert len([f for f in features if frame[f].is_numeric]) == row["n_numerical"]
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    for row in rows:
+        expected = EXPECTED[row["name"]]
+        assert (
+            row["n_rows"],
+            row["n_categorical"],
+            row["n_numerical"],
+            row["n_classes"],
+        ) == expected
+    report("table1", "Table 1: Overview of our used datasets", [format_table(rows)])

@@ -1,0 +1,44 @@
+"""COMET reproduction: step-by-step data cleaning recommendations for ML.
+
+Reproduces Mohammed, Naumann & Harmouch, "Step-by-Step Data Cleaning
+Recommendations to Improve ML Prediction Accuracy" (EDBT 2025), including
+every substrate the paper relies on: a mini dataframe, from-scratch ML
+algorithms, Bayesian regression, Shapley values, the JENGA-style error
+injector, cost models, the COMET loop itself, and all evaluation baselines.
+
+Quickstart::
+
+    from repro import load_dataset, pollute, Comet
+
+    dataset = pollute(load_dataset("cmc", rng=0), error_types=["missing"], rng=0)
+    comet = Comet(dataset, algorithm="svm", error_types=["missing"], budget=20, rng=0)
+    trace = comet.run()
+    print(trace.initial_f1, "->", trace.final_f1)
+"""
+
+from repro.cleaning import Budget, CostModel, paper_cost_model, uniform_cost_model
+from repro.core import CleaningTrace, Comet, CometConfig
+from repro.datasets import dataset_summaries, load_dataset, pollute
+from repro.errors import PollutedDataset, Polluter, PrePollution
+from repro.frame import Column, DataFrame
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Comet",
+    "CometConfig",
+    "CleaningTrace",
+    "Budget",
+    "CostModel",
+    "paper_cost_model",
+    "uniform_cost_model",
+    "PrePollution",
+    "PollutedDataset",
+    "Polluter",
+    "DataFrame",
+    "Column",
+    "load_dataset",
+    "pollute",
+    "dataset_summaries",
+    "__version__",
+]

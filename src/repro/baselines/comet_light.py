@@ -1,0 +1,134 @@
+"""CL: the light version of COMET (§4.5).
+
+COMET's Estimator runs exactly once, on the initial dirty data, producing a
+static ranked candidate list. Every subsequent step cleans the
+highest-ranked candidate that is still open — with COMET's revert-to-buffer
+and fallback behaviour, but without re-estimating. The ranking therefore
+goes stale as the data changes, the effect §5.2 observes on EEG.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaseCleaningStrategy
+from repro.cleaning import CleaningBuffer
+from repro.core.config import CometConfig
+from repro.core.estimator import CometEstimator
+from repro.core.recommender import CometRecommender
+from repro.core.trace import IterationRecord
+
+__all__ = ["CometLight"]
+
+
+class CometLight(BaseCleaningStrategy):
+    """Static one-shot COMET ranking, dynamic cleaning loop."""
+
+    def __init__(self, *args, config: CometConfig | None = None, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.config = config or CometConfig(step=self.cleaner.step)
+        self.estimator = CometEstimator(
+            self.model,
+            label=self.dataset.label,
+            config=self.config,
+            rng=self._rng.integers(2**63),
+        )
+        self.recommender = CometRecommender(self.config)
+        self.buffer = CleaningBuffer()
+        self._ranking: list[tuple[str, str]] | None = None
+
+    def _compute_ranking(self, baseline: float) -> list[tuple[str, str]]:
+        """One COMET estimation pass over all open candidates."""
+        error_by_name = {e.name: e for e in self.errors}
+        predictions = [
+            self.estimator.estimate(
+                self.dataset.train,
+                self.dataset.test,
+                feature,
+                error_by_name[error_name],
+                baseline,
+            )
+            for feature, error_name in self._active
+        ]
+        scored = self.recommender.rank(predictions, baseline, self.cost_model)
+        ranked = [(c.feature, c.error) for c in scored]
+        # Non-positive candidates go after the scored ones, in stable order.
+        ranked += [pair for pair in self._active if pair not in set(ranked)]
+        return ranked
+
+    def select_pair(self, baseline_f1: float):  # pragma: no cover - unused
+        """Choose the next (feature, error) to clean; ``None`` stops."""
+        raise NotImplementedError("CometLight overrides step() directly")
+
+    def step(self) -> IterationRecord | None:
+        """Run one cleaning iteration; ``None`` when the run is over."""
+        if not self._active or self.budget.exhausted():
+            return None
+        baseline = self.measure_f1()
+        if self._ranking is None:
+            self._ranking = self._compute_ranking(baseline)
+        self._iteration += 1
+        rejected: list[tuple[str, str]] = []
+        for pair in [p for p in self._ranking if p in self._active]:
+            from_buffer = pair in self.buffer
+            if not from_buffer and not self.budget.can_afford(
+                self.cost_model.next_cost(*pair)
+            ):
+                continue
+            cost = self._perform(pair)
+            f1_after = self.measure_f1(refresh=True)
+            self.recommender.record_outcome(*pair, f1_after)
+            if f1_after >= baseline - 1e-12:
+                self.mark_if_clean(pair)
+                return IterationRecord(
+                    iteration=self._iteration,
+                    feature=pair[0],
+                    error=pair[1],
+                    cost=cost,
+                    budget_spent=self.budget.spent,
+                    f1_before=baseline,
+                    f1_after=f1_after,
+                    from_buffer=from_buffer,
+                    rejected=list(rejected),
+                )
+            self.cleaner.revert(self.dataset, self._last_action)
+            self.buffer.put(self._last_action)
+            self._current_f1 = baseline
+            rejected.append(pair)
+        return self._fallback(baseline)
+
+    def _perform(self, pair: tuple[str, str]) -> float:
+        buffered = self.buffer.pop(*pair)
+        if buffered is not None:
+            self.cleaner.apply(self.dataset, buffered)
+            self._last_action = buffered
+            return 0.0
+        cost = self.cost_model.record_step(*pair)
+        self.budget.charge(cost)
+        self._last_action = self.cleaner.clean_step(self.dataset, *pair)
+        return cost
+
+    def _fallback(self, baseline: float) -> IterationRecord | None:
+        affordable = [
+            pair
+            for pair in self._active
+            if pair in self.buffer
+            or self.budget.can_afford(self.cost_model.next_cost(*pair))
+        ]
+        pair = self.recommender.fallback_candidate(affordable)
+        if pair is None:
+            return None
+        cost = self._perform(pair)
+        f1_after = self.measure_f1(refresh=True)
+        self.recommender.record_outcome(*pair, f1_after)
+        self.mark_if_clean(pair)
+        return IterationRecord(
+            iteration=self._iteration,
+            feature=pair[0],
+            error=pair[1],
+            cost=cost,
+            budget_spent=self.budget.spent,
+            f1_before=baseline,
+            f1_after=f1_after,
+            used_fallback=True,
+        )

@@ -1,0 +1,50 @@
+"""FIR: feature-importance-based recommendations (§4.5).
+
+Shapley values are computed once on the dirty input data; the
+highest-ranked feature that is still polluted is cleaned until the Cleaner
+marks it fully clean, then the ranking advances — a static strategy whose
+information goes stale as cleaning progresses (the effect §5.4 discusses).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaseCleaningStrategy
+from repro.explain import shapley_values
+from repro.ml.pipeline import TabularModel
+
+__all__ = ["FeatureImportanceCleaner"]
+
+
+class FeatureImportanceCleaner(BaseCleaningStrategy):
+    """Clean features top-down by dirty-data Shapley importance."""
+
+    def __init__(self, *args, n_permutations: int = 6, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.n_permutations = n_permutations
+        self._ranking: list[str] | None = None
+
+    def _compute_ranking(self) -> list[str]:
+        model = TabularModel(self.model, label=self.dataset.label)
+        model.fit(self.dataset.train)
+        values = shapley_values(
+            model,
+            self.dataset.test,
+            n_permutations=self.n_permutations,
+            rng=self._rng.integers(2**63),
+        )
+        return sorted(values, key=lambda f: values[f], reverse=True)
+
+    def select_pair(self, baseline_f1: float):
+        """Choose the next (feature, error) to clean; ``None`` stops."""
+        if self._ranking is None:
+            self._ranking = self._compute_ranking()
+        affordable = set(self.affordable_candidates())
+        if not affordable:
+            return None
+        for feature in self._ranking:
+            # Within a feature, clean its error types in registry order.
+            for pair in sorted(affordable):
+                if pair[0] == feature:
+                    return pair
+        # Features outside the ranking (should not happen) — take anything.
+        return sorted(affordable)[0]

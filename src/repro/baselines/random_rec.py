@@ -1,0 +1,23 @@
+"""RR: random cleaning recommendations (§4.5).
+
+Each step picks a uniformly random candidate among those still marked to be
+cleaned. The experiments average five RR runs per pre-pollution setting;
+that repetition lives in :mod:`repro.experiments`.
+"""
+
+from __future__ import annotations
+
+__all__ = ["RandomCleaner"]
+
+from repro.baselines.base import BaseCleaningStrategy
+
+
+class RandomCleaner(BaseCleaningStrategy):
+    """The non-strategic contrast baseline."""
+
+    def select_pair(self, baseline_f1: float):
+        """Choose the next (feature, error) to clean; ``None`` stops."""
+        affordable = self.affordable_candidates()
+        if not affordable:
+            return None
+        return affordable[self._rng.integers(len(affordable))]

@@ -1,0 +1,10 @@
+"""Bayesian regression used by COMET's Estimator (E2).
+
+The Estimator fits a Bayesian regression to the (pollution level → F1)
+measurements and extrapolates one cleaning step backwards; the predictive
+credible interval supplies the uncertainty term of the Recommender score.
+"""
+
+from repro.bayes.linear_regression import BayesianLinearRegression, polynomial_design
+
+__all__ = ["BayesianLinearRegression", "polynomial_design"]

@@ -1,0 +1,103 @@
+"""Conjugate Bayesian linear regression with evidence-approximation
+hyperparameters (the from-scratch counterpart of sklearn's BayesianRidge)."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+__all__ = ["BayesianLinearRegression", "polynomial_design"]
+
+
+def polynomial_design(x: np.ndarray, degree: int = 1) -> np.ndarray:
+    """Design matrix ``[1, x, x², …]`` for a scalar regressor."""
+    x = np.asarray(x, dtype=float).ravel()
+    return np.vander(x, N=degree + 1, increasing=True)
+
+
+class BayesianLinearRegression:
+    """Gaussian-prior linear regression with closed-form posterior.
+
+    Model: ``y = Xw + ε``, ``w ~ N(0, α⁻¹I)``, ``ε ~ N(0, β⁻¹)``.
+    ``α`` and ``β`` are optimized by MacKay's fixed-point evidence updates,
+    which keeps the model well behaved on the three-to-five point series the
+    COMET Estimator feeds it.
+
+    Parameters
+    ----------
+    max_iter:
+        Evidence-update iterations.
+    alpha_init / beta_init:
+        Starting precisions.
+    """
+
+    def __init__(
+        self,
+        max_iter: int = 50,
+        tol: float = 1e-6,
+        alpha_init: float = 1.0,
+        beta_init: float = 10.0,
+    ) -> None:
+        self.max_iter = max_iter
+        self.tol = tol
+        self.alpha_init = alpha_init
+        self.beta_init = beta_init
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "BayesianLinearRegression":
+        """Fit on the given training data and return ``self``."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float).ravel()
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        if len(X) != len(y):
+            raise ValueError(f"X has {len(X)} rows but y has {len(y)}")
+        if len(X) == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        n, d = X.shape
+        alpha, beta = self.alpha_init, self.beta_init
+        eye = np.eye(d)
+        gram = X.T @ X
+        Xty = X.T @ y
+        eigvals = np.linalg.eigvalsh(gram)
+        mean = np.zeros(d)
+        for __ in range(self.max_iter):
+            cov_inv = alpha * eye + beta * gram
+            cov = np.linalg.inv(cov_inv)
+            mean = beta * cov @ Xty
+            gamma = float(np.sum(beta * eigvals / (alpha + beta * eigvals)))
+            alpha_new = gamma / max(float(mean @ mean), 1e-12)
+            residual = y - X @ mean
+            denom = max(float(residual @ residual), 1e-12)
+            beta_new = max(n - gamma, 1e-12) / denom
+            alpha_new = float(np.clip(alpha_new, 1e-10, 1e10))
+            beta_new = float(np.clip(beta_new, 1e-10, 1e10))
+            if abs(alpha_new - alpha) < self.tol * alpha and abs(beta_new - beta) < self.tol * beta:
+                alpha, beta = alpha_new, beta_new
+                break
+            alpha, beta = alpha_new, beta_new
+        self.alpha_ = alpha
+        self.beta_ = beta
+        self.coef_ = mean
+        self.cov_ = np.linalg.inv(alpha * eye + beta * gram)
+        return self
+
+    def predict(
+        self, X: np.ndarray, return_std: bool = False
+    ) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
+        """Posterior-predictive mean (and optionally standard deviation)."""
+        X = np.asarray(X, dtype=float)
+        mean = X @ self.coef_
+        if not return_std:
+            return mean
+        var = 1.0 / self.beta_ + np.einsum("ij,jk,ik->i", X, self.cov_, X)
+        return mean, np.sqrt(np.maximum(var, 0.0))
+
+    def credible_interval(
+        self, X: np.ndarray, level: float = 0.95
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Predictive mean with symmetric ``level`` credible bounds."""
+        if not 0.0 < level < 1.0:
+            raise ValueError(f"level must be in (0, 1), got {level}")
+        mean, std = self.predict(X, return_std=True)
+        z = stats.norm.ppf(0.5 + level / 2.0)
+        return mean, mean - z * std, mean + z * std

@@ -1,0 +1,29 @@
+"""Cleaning substrate: cost models (§4.2), budget accounting, the simulated
+ground-truth Cleaner, and the cleaning buffer used for reverts (§3.3)."""
+
+from repro.cleaning.buffer import CleaningBuffer
+from repro.cleaning.cleaner import CleaningAction, GroundTruthCleaner
+from repro.cleaning.cost import (
+    Budget,
+    ConstantCost,
+    CostFunction,
+    CostModel,
+    LinearCost,
+    OneShotCost,
+    paper_cost_model,
+    uniform_cost_model,
+)
+
+__all__ = [
+    "Budget",
+    "CostFunction",
+    "ConstantCost",
+    "OneShotCost",
+    "LinearCost",
+    "CostModel",
+    "paper_cost_model",
+    "uniform_cost_model",
+    "CleaningAction",
+    "GroundTruthCleaner",
+    "CleaningBuffer",
+]

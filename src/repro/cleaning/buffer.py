@@ -1,0 +1,42 @@
+"""The cleaning buffer (§3.3, step D).
+
+When a cleaning step decreases prediction accuracy, COMET reverts the data
+to its pre-cleaning state but *retains the cleaned data* in a buffer. If the
+Recommender later selects the same (feature, error) again, the buffered
+cleaning is replayed instead of paying the Cleaner for new work.
+"""
+
+from __future__ import annotations
+
+from repro.cleaning.cleaner import CleaningAction
+
+__all__ = ["CleaningBuffer"]
+
+
+class CleaningBuffer:
+    """Holds reverted cleaning steps keyed by (feature, error)."""
+
+    def __init__(self) -> None:
+        self._actions: dict[tuple[str, str], list[CleaningAction]] = {}
+
+    def put(self, action: CleaningAction) -> None:
+        """Store a reverted cleaning action for later replay."""
+        key = (action.feature, action.error)
+        self._actions.setdefault(key, []).append(action)
+
+    def pop(self, feature: str, error: str) -> CleaningAction | None:
+        """Remove and return the oldest buffered step, or ``None``."""
+        key = (feature, error)
+        actions = self._actions.get(key)
+        if not actions:
+            return None
+        action = actions.pop(0)
+        if not actions:
+            del self._actions[key]
+        return action
+
+    def __contains__(self, key: tuple[str, str]) -> bool:
+        return key in self._actions
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._actions.values())

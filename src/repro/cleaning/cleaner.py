@@ -1,0 +1,153 @@
+"""The simulated Cleaner: restores ground-truth values one step at a time.
+
+The paper's Cleaner is a domain expert or cleaning algorithm; in the
+experiments it is simulated with the ground-truth clean dataset (exactly as
+the paper does for its pre-polluted and CleanML datasets). A cleaning step
+restores up to "1 % of the rows" per split, preferring the cells the
+Polluter flagged in the recommendation, then other dirty cells, then — if
+the feature has fewer dirty cells than a step — random already-clean cells
+(which cost effort but change nothing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors.prepollution import PollutedDataset
+from repro.frame import Column
+
+__all__ = ["CleaningAction", "GroundTruthCleaner"]
+
+
+@dataclass
+class CleaningAction:
+    """Everything needed to revert or re-apply one cleaning step."""
+
+    feature: str
+    error: str
+    train_rows: np.ndarray
+    test_rows: np.ndarray
+    train_before: Column
+    test_before: Column
+    train_after: Column
+    test_after: Column
+    #: Rows removed from the dirty bookkeeping, per split.
+    dirty_train_removed: np.ndarray
+    dirty_test_removed: np.ndarray
+
+
+class GroundTruthCleaner:
+    """Cleans a :class:`PollutedDataset` against its clean ground truth.
+
+    Parameters
+    ----------
+    step:
+        Cleaning step size as a fraction of each split (1 % in the paper).
+    """
+
+    def __init__(self, step: float = 0.01, rng: np.random.Generator | int | None = None) -> None:
+        if not 0.0 < step <= 1.0:
+            raise ValueError(f"step must be in (0, 1], got {step}")
+        self.step = step
+        self._rng = np.random.default_rng(rng)
+
+    def cells_per_step(self, n_rows: int) -> int:
+        """Number of cells one cleaning step covers."""
+        return max(1, int(round(self.step * n_rows)))
+
+    def clean_step(
+        self,
+        dataset: PollutedDataset,
+        feature: str,
+        error: str,
+        priority_train_rows: np.ndarray | None = None,
+    ) -> CleaningAction:
+        """Perform one cleaning step on ``(feature, error)`` in place."""
+        train_rows, dirty_train_removed = self._select_rows(
+            dataset.dirty_train.rows(feature, error),
+            dataset.train.n_rows,
+            self.cells_per_step(dataset.train.n_rows),
+            priority_train_rows,
+        )
+        test_rows, dirty_test_removed = self._select_rows(
+            dataset.dirty_test.rows(feature, error),
+            dataset.test.n_rows,
+            self.cells_per_step(dataset.test.n_rows),
+            None,
+        )
+        train_before = dataset.train[feature].copy()
+        test_before = dataset.test[feature].copy()
+        self._restore(dataset.train[feature], dataset.clean_train[feature], train_rows)
+        self._restore(dataset.test[feature], dataset.clean_test[feature], test_rows)
+        dataset.dirty_train.remove(feature, error, dirty_train_removed)
+        dataset.dirty_test.remove(feature, error, dirty_test_removed)
+        return CleaningAction(
+            feature=feature,
+            error=error,
+            train_rows=train_rows,
+            test_rows=test_rows,
+            train_before=train_before,
+            test_before=test_before,
+            train_after=dataset.train[feature].copy(),
+            test_after=dataset.test[feature].copy(),
+            dirty_train_removed=dirty_train_removed,
+            dirty_test_removed=dirty_test_removed,
+        )
+
+    def revert(self, dataset: PollutedDataset, action: CleaningAction) -> None:
+        """Undo a cleaning step (data and dirty bookkeeping)."""
+        dataset.train.set_column(action.train_before.copy())
+        dataset.test.set_column(action.test_before.copy())
+        dataset.dirty_train.add(action.feature, action.error, action.dirty_train_removed)
+        dataset.dirty_test.add(action.feature, action.error, action.dirty_test_removed)
+
+    def apply(self, dataset: PollutedDataset, action: CleaningAction) -> None:
+        """Re-apply a previously reverted cleaning step from the buffer."""
+        dataset.train.set_column(action.train_after.copy())
+        dataset.test.set_column(action.test_after.copy())
+        dataset.dirty_train.remove(action.feature, action.error, action.dirty_train_removed)
+        dataset.dirty_test.remove(action.feature, action.error, action.dirty_test_removed)
+
+    # ------------------------------------------------------------------ #
+    def _select_rows(
+        self,
+        dirty_rows: np.ndarray,
+        n_rows: int,
+        n_cells: int,
+        priority_rows: np.ndarray | None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Pick the rows a step cleans: flagged dirty → other dirty → random.
+
+        Returns (all selected rows, the dirty subset among them).
+        """
+        dirty_set = set(dirty_rows.tolist())
+        selected: list[int] = []
+        if priority_rows is not None:
+            flagged_dirty = [int(r) for r in priority_rows if int(r) in dirty_set]
+            self._rng.shuffle(flagged_dirty)
+            selected.extend(flagged_dirty[:n_cells])
+        if len(selected) < n_cells:
+            remaining = [r for r in dirty_set if r not in set(selected)]
+            self._rng.shuffle(remaining)
+            selected.extend(remaining[: n_cells - len(selected)])
+        if len(selected) < n_cells:
+            pool = np.setdiff1d(np.arange(n_rows), np.array(selected, dtype=int))
+            extra = self._rng.choice(
+                pool, size=min(n_cells - len(selected), len(pool)), replace=False
+            )
+            selected.extend(int(r) for r in extra)
+        rows = np.array(sorted(selected), dtype=int)
+        dirty_selected = np.array(sorted(set(selected) & dirty_set), dtype=int)
+        return rows, dirty_selected
+
+    @staticmethod
+    def _restore(column: Column, clean_column: Column, rows: np.ndarray) -> None:
+        if rows.size:
+            column.set_values(rows, clean_column.values[rows])
+            # Ground truth may itself contain genuine missing cells (CleanML
+            # Titanic); propagate the clean missing mask.
+            truly_missing = rows[clean_column.missing_mask[rows]]
+            if truly_missing.size:
+                column.set_missing(truly_missing)

@@ -1,0 +1,175 @@
+"""Cleaning cost models and budget accounting (§4.2).
+
+The paper pairs error types with cost shapes: categorical shifts and
+scaling errors cost a constant unit per step; missing values have a
+one-shot cost (2 units for the first step — detection plus a column-wide
+imputation setup — then free); Gaussian noise costs linearly more with
+every step (subtle deviations get harder to find).
+"""
+
+from __future__ import annotations
+
+import abc
+
+__all__ = [
+    "CostFunction",
+    "ConstantCost",
+    "OneShotCost",
+    "LinearCost",
+    "CostModel",
+    "Budget",
+    "paper_cost_model",
+    "uniform_cost_model",
+]
+
+
+class CostFunction(abc.ABC):
+    """Maps "how many steps were already performed" to the next step's cost."""
+
+    @abc.abstractmethod
+    def cost(self, steps_done: int) -> float:
+        """Cost of the ``steps_done + 1``-th cleaning step."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class ConstantCost(CostFunction):
+    """Every step costs the same ``unit``."""
+
+    def __init__(self, unit: float = 1.0) -> None:
+        if unit <= 0:
+            raise ValueError("unit must be positive")
+        self.unit = unit
+
+    def cost(self, steps_done: int) -> float:
+        """Cost of the ``steps_done + 1``-th cleaning step."""
+        return self.unit
+
+
+class OneShotCost(CostFunction):
+    """High initial cost, free afterwards (missing-value imputation)."""
+
+    def __init__(self, initial: float = 2.0, subsequent: float = 0.0) -> None:
+        if initial <= 0 or subsequent < 0:
+            raise ValueError("initial must be positive, subsequent non-negative")
+        self.initial = initial
+        self.subsequent = subsequent
+
+    def cost(self, steps_done: int) -> float:
+        """Cost of the ``steps_done + 1``-th cleaning step."""
+        return self.initial if steps_done == 0 else self.subsequent
+
+
+class LinearCost(CostFunction):
+    """Each step costs ``increment`` more than the previous one."""
+
+    def __init__(self, initial: float = 1.0, increment: float = 1.0) -> None:
+        if initial <= 0 or increment < 0:
+            raise ValueError("initial must be positive, increment non-negative")
+        self.initial = initial
+        self.increment = increment
+
+    def cost(self, steps_done: int) -> float:
+        """Cost of the ``steps_done + 1``-th cleaning step."""
+        return self.initial + self.increment * steps_done
+
+
+class CostModel:
+    """Per-(feature, error) cleaning cost with step history.
+
+    Parameters
+    ----------
+    by_error:
+        Error-type name → :class:`CostFunction`. Unlisted error types fall
+        back to ``default``.
+    """
+
+    def __init__(
+        self,
+        by_error: dict[str, CostFunction] | None = None,
+        default: CostFunction | None = None,
+    ) -> None:
+        self.by_error = dict(by_error or {})
+        self.default = default or ConstantCost()
+        self._steps: dict[tuple[str, str], int] = {}
+
+    def _function(self, error: str) -> CostFunction:
+        return self.by_error.get(error, self.default)
+
+    def next_cost(self, feature: str, error: str) -> float:
+        """Cost of the next cleaning step on ``(feature, error)``."""
+        return self._function(error).cost(self._steps.get((feature, error), 0))
+
+    def record_step(self, feature: str, error: str) -> float:
+        """Register one performed step and return what it cost."""
+        done = self._steps.get((feature, error), 0)
+        price = self._function(error).cost(done)
+        self._steps[(feature, error)] = done + 1
+        return price
+
+    def steps_done(self, feature: str, error: str) -> int:
+        """Cleaning steps already recorded for the pair."""
+        return self._steps.get((feature, error), 0)
+
+    def copy(self) -> "CostModel":
+        """Deep copy (independent of the original)."""
+        dup = CostModel(self.by_error, self.default)
+        dup._steps = dict(self._steps)
+        return dup
+
+
+class Budget:
+    """A spend-down cleaning budget (the paper caps runs at 50 units)."""
+
+    def __init__(self, total: float = 50.0) -> None:
+        if total <= 0:
+            raise ValueError("total budget must be positive")
+        self.total = total
+        self.spent = 0.0
+
+    @property
+    def remaining(self) -> float:
+        """Budget units still available."""
+        return self.total - self.spent
+
+    def can_afford(self, price: float) -> bool:
+        """Whether ``price`` fits in the remaining budget."""
+        return price <= self.remaining + 1e-9
+
+    def charge(self, price: float) -> None:
+        """Spend ``price`` from the budget (raises if unaffordable)."""
+        if price < 0:
+            raise ValueError("cannot charge a negative price")
+        if not self.can_afford(price):
+            raise ValueError(
+                f"insufficient budget: {price} > remaining {self.remaining}"
+            )
+        self.spent += price
+
+    def exhausted(self, min_price: float = 0.0) -> bool:
+        """True when ``min_price`` (or, with the default, anything at all)
+        can no longer be paid."""
+        if min_price > 0.0:
+            return not self.can_afford(min_price)
+        return self.remaining <= 1e-9
+
+    def __repr__(self) -> str:
+        return f"Budget(spent={self.spent:g}, total={self.total:g})"
+
+
+def paper_cost_model() -> CostModel:
+    """The multi-error scenario cost assignment of §4.2."""
+    return CostModel(
+        by_error={
+            "categorical": ConstantCost(1.0),
+            "scaling": ConstantCost(1.0),
+            "missing": OneShotCost(2.0, 0.0),
+            "noise": LinearCost(1.0, 1.0),
+        }
+    )
+
+
+def uniform_cost_model() -> CostModel:
+    """Single-error scenario: every step costs one unit (§4.2)."""
+    return CostModel(default=ConstantCost(1.0))

@@ -1,0 +1,155 @@
+"""Command-line interface: run cleaning comparisons without writing code.
+
+Examples::
+
+    python -m repro list
+    python -m repro run --dataset cmc --algorithm svm --errors missing \
+        --methods comet rr fir --budget 10 --rows 240
+    python -m repro recommend --dataset churn --algorithm gb --errors missing
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.core import Comet, CometConfig
+from repro.datasets import DATASET_NAMES, dataset_summaries
+from repro.errors import error_registry
+from repro.experiments import (
+    Configuration,
+    METHOD_NAMES,
+    average_curve,
+    build_polluted,
+    format_series,
+    format_table,
+    run_method,
+)
+from repro.ml import available_algorithms
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="COMET reproduction: step-by-step cleaning recommendations",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list datasets, algorithms, error types, methods")
+
+    run = sub.add_parser("run", help="compare cleaning methods on one configuration")
+    _common_args(run)
+    run.add_argument(
+        "--methods", nargs="+", default=["comet", "rr"], choices=METHOD_NAMES,
+        help="cleaning methods to compare",
+    )
+    run.add_argument("--seed", type=int, default=0)
+
+    rec = sub.add_parser(
+        "recommend", help="print COMET's next-k cleaning recommendations"
+    )
+    _common_args(rec)
+    rec.add_argument("-k", type=int, default=3, help="number of recommendations")
+    rec.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _common_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", required=True, choices=DATASET_NAMES)
+    parser.add_argument("--algorithm", default="svm")
+    parser.add_argument(
+        "--errors", nargs="+", default=["missing"],
+        choices=sorted(error_registry()),
+    )
+    parser.add_argument("--budget", type=float, default=10.0)
+    parser.add_argument("--rows", type=int, default=240, help="scaled row count")
+    parser.add_argument("--step", type=float, default=0.02)
+    parser.add_argument(
+        "--costs", choices=("uniform", "paper"), default="uniform",
+        help="cost model: uniform (single-error §4.2) or paper (multi-error)",
+    )
+
+
+def _configuration(args: argparse.Namespace) -> Configuration:
+    return Configuration(
+        dataset=args.dataset,
+        algorithm=args.algorithm,
+        error_types=tuple(args.errors),
+        n_rows=args.rows,
+        budget=args.budget,
+        step=args.step,
+        cost_model=args.costs,
+    )
+
+
+def _cmd_list() -> int:
+    print("datasets (Table 1):")
+    print(format_table(dataset_summaries()))
+    print(f"\nalgorithms: {', '.join(available_algorithms())}")
+    print(f"error types: {', '.join(sorted(error_registry()))}")
+    print(f"methods: {', '.join(METHOD_NAMES)}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = _configuration(args)
+    polluted = build_polluted(config, seed=args.seed)
+    grid = np.arange(0.0, config.budget + 1.0)
+    print(
+        f"{config.dataset} / {config.algorithm} / {'+'.join(config.error_types)} "
+        f"(budget {config.budget:g}, {polluted.train.n_rows} train rows)\n"
+    )
+    for method in args.methods:
+        trace = run_method(method, polluted, config, rng=args.seed)
+        curve = average_curve([trace], grid)
+        print(format_series(method.upper(), grid, curve, every=max(1, len(grid) // 6)))
+    return 0
+
+
+def _cmd_recommend(args: argparse.Namespace) -> int:
+    config = _configuration(args)
+    polluted = build_polluted(config, seed=args.seed)
+    comet = Comet(
+        polluted,
+        algorithm=config.algorithm,
+        error_types=list(config.error_types),
+        budget=config.budget,
+        cost_model=config.make_cost_model(),
+        config=CometConfig(step=config.step),
+        rng=args.seed,
+    )
+    candidates = comet.recommend(k=args.k)
+    if not candidates:
+        print("no candidate is predicted to improve the model")
+        return 0
+    print(f"current F1: {comet.estimator_measure_baseline():.3f}")
+    print(f"{'rank':>4s} {'feature':10s} {'error':12s} "
+          f"{'pred. F1':>9s} {'+/-':>6s} {'cost':>5s} {'score':>7s}")
+    for rank, c in enumerate(candidates, start=1):
+        print(
+            f"{rank:4d} {c.feature:10s} {c.error:12s} "
+            f"{c.prediction.predicted_f1:9.3f} {c.prediction.uncertainty:6.3f} "
+            f"{c.cost:5.1f} {c.score:7.3f}"
+        )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "recommend":
+        return _cmd_recommend(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

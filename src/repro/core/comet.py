@@ -1,0 +1,346 @@
+"""The COMET session loop (Figure 2).
+
+One iteration: measure the current F1, run the Polluter + Estimator over
+every open (feature, error) candidate, let the Recommender select by score,
+have the Cleaner perform one cleaning step, keep it if the F1 did not
+decrease, otherwise revert into the cleaning buffer and try the next
+candidate; fall back to the historically best candidate when nothing is
+predicted to help. Repeats until the budget is spent or the Cleaner has
+marked every candidate clean.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cleaning import (
+    Budget,
+    CleaningBuffer,
+    CostModel,
+    GroundTruthCleaner,
+    uniform_cost_model,
+)
+from repro.core.config import CometConfig
+from repro.core.estimator import CometEstimator, Prediction
+from repro.core.recommender import CometRecommender, ScoredCandidate
+from repro.core.trace import CleaningTrace, IterationRecord
+from repro.errors.base import ErrorType, make_error
+from repro.errors.prepollution import PollutedDataset
+from repro.ml.base import BaseEstimator
+from repro.ml.model_selection import RandomSearch
+from repro.ml.pipeline import TabularModel
+from repro.ml.preprocessing import TabularPreprocessor
+from repro.ml.registry import hyperparameter_space, make_classifier
+
+__all__ = ["Comet"]
+
+
+class Comet:
+    """Cost-aware step-by-step cleaning recommendations.
+
+    Parameters
+    ----------
+    dataset:
+        The dirty dataset (with ground truth for the simulated Cleaner).
+        The session works on a copy; the input is never mutated.
+    algorithm:
+        Registry name (``"svm"``, ``"knn"``, ``"mlp"``, ``"gb"``, …) or an
+        unfitted estimator instance.
+    error_types:
+        Error types COMET should consider (names or instances). One for the
+        single-error scenario, several for the multi-error scenario.
+    budget:
+        Total cleaning budget in cost units (50 in the paper).
+    cost_model:
+        Cleaning costs per error type; defaults to the uniform model.
+    task:
+        ``"classification"`` (the paper's setting, F1) or ``"regression"``
+        (R² — the §6 extension; pass a regressor instance as ``algorithm``).
+    cleaner:
+        The Cleaner performing the actual cleaning. Defaults to the
+        ground-truth simulation used in the paper's experiments; pass a
+        :class:`~repro.detect.AlgorithmicCleaner` for a fully automatic
+        detect-and-impute pipeline.
+    """
+
+    def __init__(
+        self,
+        dataset: PollutedDataset,
+        algorithm: str | BaseEstimator = "svm",
+        error_types=("missing",),
+        budget: float = 50.0,
+        cost_model: CostModel | None = None,
+        config: CometConfig | None = None,
+        rng: np.random.Generator | int | None = None,
+        task: str = "classification",
+        cleaner=None,
+    ) -> None:
+        self.config = config or CometConfig()
+        self.task = task
+        self.dataset = dataset.copy()
+        self._rng = np.random.default_rng(rng)
+        if isinstance(algorithm, str):
+            self.algorithm_name = algorithm
+            self.model = make_classifier(algorithm)
+        else:
+            self.algorithm_name = type(algorithm).__name__
+            self.model = algorithm
+        if not isinstance(error_types, (list, tuple)):
+            error_types = [error_types]
+        self.errors: list[ErrorType] = [
+            make_error(e) if isinstance(e, str) else e for e in error_types
+        ]
+        if not self.errors:
+            raise ValueError("need at least one error type")
+        self.budget = Budget(budget)
+        self.cost_model = (cost_model or uniform_cost_model()).copy()
+        self.cleaner = cleaner or GroundTruthCleaner(
+            step=self.config.step, rng=self._rng.integers(2**63)
+        )
+        self.buffer = CleaningBuffer()
+        self.recommender = CometRecommender(self.config)
+        if self.config.search_iterations > 0 and isinstance(algorithm, str):
+            self._tune_model()
+        self.estimator = CometEstimator(
+            self.model,
+            label=self.dataset.label,
+            config=self.config,
+            rng=self._rng.integers(2**63),
+            task=self.task,
+        )
+        # COMET assumes every feature is dirty until the Cleaner marks it
+        # clean (§3.1); candidates are all applicable (feature, error) pairs.
+        self._active: list[tuple[str, str]] = [
+            (feature, error.name)
+            for feature in self.dataset.feature_names
+            for error in self.errors
+            if error.applies_to(self.dataset.train[feature])
+        ]
+        self._error_by_name = {e.name: e for e in self.errors}
+        self._current_f1: float | None = None
+        self._iteration = 0
+        self.trace: CleaningTrace | None = None
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def run(self) -> CleaningTrace:
+        """Iterate until the budget is spent or everything is marked clean."""
+        self.trace = CleaningTrace(initial_f1=self._baseline())
+        while True:
+            records = self.iterate()
+            if not records:
+                break
+            for record in records:
+                self.trace.append(record)
+        return self.trace
+
+    def step(self) -> IterationRecord | None:
+        """Run one COMET iteration (single cleaning); ``None`` when over."""
+        records = self.iterate(max_accepts=1)
+        return records[0] if records else None
+
+    def iterate(self, max_accepts: int | None = None) -> list[IterationRecord]:
+        """One estimation sweep, cleaning up to ``max_accepts`` candidates.
+
+        ``max_accepts`` defaults to ``config.batch_size``; values above 1
+        implement the multi-feature-per-iteration extension (§6): the
+        Polluter/Estimator sweep is paid once and several ranked candidates
+        are cleaned from it.
+        """
+        if not self._active or self.budget.exhausted():
+            return []
+        if max_accepts is None:
+            max_accepts = self.config.batch_size
+        baseline = self._baseline()
+        predictions = self._estimate_candidates(baseline)
+        ranked = self.recommender.rank(predictions, baseline, self.cost_model)
+        self._iteration += 1
+        records = self._try_candidates(ranked, baseline, max_accepts)
+        if not records:
+            fallback = self._fallback(predictions, baseline)
+            if fallback is not None:
+                records = [fallback]
+        return records
+
+    def recommend(self, k: int = 1) -> list[ScoredCandidate]:
+        """Pure recommendation: the top-``k`` scored candidates, no cleaning.
+
+        For human-in-the-loop use: inspect what COMET would clean next
+        (with predicted F1, uncertainty, and cost) without touching data or
+        budget.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if not self._active:
+            return []
+        baseline = self._baseline()
+        predictions = self._estimate_candidates(baseline)
+        ranked = self.recommender.rank(predictions, baseline, self.cost_model)
+        return ranked[:k]
+
+    @property
+    def is_finished(self) -> bool:
+        """True once the budget is spent or nothing is left to clean."""
+        return not self._active or self.budget.exhausted()
+
+    def open_candidates(self) -> list[tuple[str, str]]:
+        """(feature, error) pairs the Cleaner has not yet marked clean."""
+        return list(self._active)
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _baseline(self) -> float:
+        if self._current_f1 is None:
+            self._current_f1 = self.estimator_measure_baseline()
+        return self._current_f1
+
+    def estimator_measure_baseline(self) -> float:
+        """Fit on the current train split and score the test split."""
+        model = TabularModel(self.model, label=self.dataset.label, task=self.task)
+        return model.fit_score(self.dataset.train, self.dataset.test)
+
+    def _estimate_candidates(self, baseline: float) -> list[Prediction]:
+        predictions = []
+        for feature, error_name in self._active:
+            error = self._error_by_name[error_name]
+            predictions.append(
+                self.estimator.estimate(
+                    self.dataset.train,
+                    self.dataset.test,
+                    feature,
+                    error,
+                    baseline,
+                )
+            )
+        return predictions
+
+    def _try_candidates(
+        self, ranked: list[ScoredCandidate], baseline: float, max_accepts: int = 1
+    ) -> list[IterationRecord]:
+        """Steps (C) and (D): clean by score, revert on decrease.
+
+        Accepts up to ``max_accepts`` candidates from the same ranking;
+        each accepted cleaning becomes the baseline for the next.
+        """
+        records: list[IterationRecord] = []
+        rejected: list[tuple[str, str]] = []
+        for candidate in ranked:
+            pair = (candidate.feature, candidate.error)
+            if pair not in self._active:
+                continue  # a previous accept in this sweep finished it
+            from_buffer = pair in self.buffer
+            if not from_buffer and not self.budget.can_afford(candidate.cost):
+                continue
+            cost = self._perform_cleaning(candidate.feature, candidate.error, candidate.prediction)
+            f1_after = self.estimator_measure_baseline()
+            self.estimator.record_outcome(candidate.prediction, f1_after)
+            self.recommender.record_outcome(candidate.feature, candidate.error, f1_after)
+            if f1_after >= baseline - 1e-12 or not self.config.revert_on_decrease:
+                self._accept(pair, f1_after)
+                records.append(
+                    IterationRecord(
+                        iteration=self._iteration,
+                        feature=candidate.feature,
+                        error=candidate.error,
+                        cost=cost,
+                        budget_spent=self.budget.spent,
+                        f1_before=baseline,
+                        f1_after=f1_after,
+                        predicted_f1=candidate.prediction.predicted_f1,
+                        from_buffer=from_buffer,
+                        rejected=list(rejected),
+                    )
+                )
+                if len(records) >= max_accepts:
+                    return records
+                baseline = f1_after
+                rejected = []
+                continue
+            self._revert_last(pair)
+            rejected.append(pair)
+        return records
+
+    def _fallback(
+        self, predictions: list[Prediction], baseline: float
+    ) -> IterationRecord | None:
+        """Step (E): clean the historically best candidate, keep the result."""
+        affordable = [
+            pair
+            for pair in self._active
+            if (pair in self.buffer)
+            or self.budget.can_afford(self.cost_model.next_cost(*pair))
+        ]
+        pair = self.recommender.fallback_candidate(affordable)
+        if pair is None:
+            return None
+        feature, error_name = pair
+        prediction = next(
+            (p for p in predictions if (p.feature, p.error) == pair), None
+        )
+        cost = self._perform_cleaning(feature, error_name, prediction)
+        f1_after = self.estimator_measure_baseline()
+        if prediction is not None:
+            self.estimator.record_outcome(prediction, f1_after)
+        self.recommender.record_outcome(feature, error_name, f1_after)
+        self._accept(pair, f1_after)
+        return IterationRecord(
+            iteration=self._iteration,
+            feature=feature,
+            error=error_name,
+            cost=cost,
+            budget_spent=self.budget.spent,
+            f1_before=baseline,
+            f1_after=f1_after,
+            predicted_f1=prediction.predicted_f1 if prediction else None,
+            used_fallback=True,
+        )
+
+    def _perform_cleaning(
+        self, feature: str, error: str, prediction: Prediction | None
+    ) -> float:
+        """Replay from the buffer when possible, otherwise pay the Cleaner."""
+        buffered = self.buffer.pop(feature, error)
+        if buffered is not None:
+            self.cleaner.apply(self.dataset, buffered)
+            self._last_action = buffered
+            return 0.0
+        cost = self.cost_model.record_step(feature, error)
+        self.budget.charge(cost)
+        priority = prediction.polluted_rows if prediction is not None else None
+        self._last_action = self.cleaner.clean_step(
+            self.dataset, feature, error, priority_train_rows=priority
+        )
+        return cost
+
+    def _revert_last(self, pair: tuple[str, str]) -> None:
+        self.cleaner.revert(self.dataset, self._last_action)
+        self.buffer.put(self._last_action)
+        self._current_f1 = None  # state changed back; re-measure lazily
+
+    def _accept(self, pair: tuple[str, str], f1_after: float) -> None:
+        self._current_f1 = f1_after
+        feature, error = pair
+        train_clean = self.dataset.dirty_train.dirty_count(feature, error) == 0
+        test_clean = self.dataset.dirty_test.dirty_count(feature, error) == 0
+        if train_clean and test_clean and pair in self._active:
+            # The Cleaner observed no (remaining) dirt — marks the pair clean.
+            self._active.remove(pair)
+
+    def _tune_model(self) -> None:
+        """The paper's 10-sample random hyperparameter search (§4.4)."""
+        space = hyperparameter_space(self.algorithm_name)
+        label = self.dataset.label
+        features = self.dataset.feature_names
+        preprocessor = TabularPreprocessor(features).fit(self.dataset.train)
+        X = preprocessor.transform(self.dataset.train)
+        y = self.dataset.train.label_array(label)
+        search = RandomSearch(
+            self.model,
+            space,
+            n_iter=self.config.search_iterations,
+            rng=self._rng.integers(2**63),
+        )
+        search.fit(X, y)
+        self.model.set_params(**search.best_params_)

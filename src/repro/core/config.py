@@ -1,0 +1,80 @@
+"""Configuration knobs for a COMET session."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CometConfig"]
+
+
+@dataclass
+class CometConfig:
+    """Hyperparameters of the COMET loop.
+
+    Attributes
+    ----------
+    step:
+        Cleaning/pollution step as a fraction of the split size (1 % in the
+        paper, §4.1).
+    n_pollution_steps:
+        How many additional pollution levels the Polluter probes per
+        feature and iteration (two in §3.1).
+    n_combinations:
+        Random cell combinations sampled per pollution level; their scores
+        are pooled by the Estimator (§3.1).
+    credible_level:
+        Level of the Bayesian credible interval whose width is the
+        uncertainty ``U(f)`` in the Recommender score (Eq. 4).
+    regression_degree:
+        Degree of the polynomial design for the Bayesian regression; 1
+        (a linear trend, Figure 1) is the default.
+    use_uncertainty:
+        If False, the Recommender scores with ``gain / cost`` only —
+        the ablation called out in DESIGN.md §5.
+    revert_on_decrease:
+        If False, cleaning steps are never reverted (second ablation).
+    adjust_predictions:
+        Whether the Estimator applies the mean observed discrepancy to
+        later predictions for the same candidate (§3.3).
+    min_cost:
+        Floor for the cost denominator of Eq. 4, so one-shot costs of zero
+        don't divide by zero.
+    search_iterations:
+        Random hyperparameter search samples at session start (the paper
+        uses 10); 0 skips the search and keeps the registry defaults.
+    batch_size:
+        Cleaning steps accepted per estimation sweep. 1 reproduces the
+        paper's loop; larger values implement the §6 future-work extension
+        of recommending multiple features per iteration, amortizing the
+        Polluter/Estimator cost across several cleanings.
+    """
+
+    step: float = 0.01
+    n_pollution_steps: int = 2
+    n_combinations: int = 1
+    credible_level: float = 0.95
+    regression_degree: int = 1
+    use_uncertainty: bool = True
+    revert_on_decrease: bool = True
+    adjust_predictions: bool = True
+    min_cost: float = 0.25
+    search_iterations: int = 0
+    batch_size: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.step <= 1.0:
+            raise ValueError(f"step must be in (0, 1], got {self.step}")
+        if self.n_pollution_steps < 1:
+            raise ValueError("n_pollution_steps must be >= 1")
+        if self.n_combinations < 1:
+            raise ValueError("n_combinations must be >= 1")
+        if not 0.0 < self.credible_level < 1.0:
+            raise ValueError("credible_level must be in (0, 1)")
+        if self.regression_degree < 1:
+            raise ValueError("regression_degree must be >= 1")
+        if self.min_cost <= 0:
+            raise ValueError("min_cost must be positive")
+        if self.search_iterations < 0:
+            raise ValueError("search_iterations must be >= 0")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")

@@ -1,0 +1,174 @@
+"""The Estimator (§3.2): measure pollution effects, predict cleaning gains.
+
+Step 1 (``E1``) measures prediction accuracy on incrementally polluted data
+states produced by the Polluter. Step 2 (``E2``) fits a Bayesian regression
+to the (pollution level → F1) series and extrapolates one *cleaning* step
+backwards (level ``−step``), yielding the predicted post-cleaning F1 and
+its uncertainty. After each realized cleaning, the observed discrepancy
+feeds back into later predictions for the same candidate (§3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bayes import BayesianLinearRegression, polynomial_design
+from repro.core.config import CometConfig
+from repro.errors.base import ErrorType
+from repro.errors.polluter import Polluter
+from repro.frame import DataFrame
+from repro.ml.base import BaseEstimator
+from repro.ml.pipeline import TabularModel
+
+__all__ = ["CometEstimator", "Prediction"]
+
+
+@dataclass
+class Prediction:
+    """E2 output for one (feature, error) candidate."""
+
+    feature: str
+    error: str
+    #: Predicted F1 after one cleaning step (discrepancy-adjusted).
+    predicted_f1: float
+    #: Uncertainty: width of the credible interval of the prediction.
+    uncertainty: float
+    #: Measured (level, F1) points backing the prediction.
+    levels: np.ndarray
+    scores: np.ndarray
+    #: Train rows the Polluter touched — the Cleaner's priority cells.
+    polluted_rows: np.ndarray
+
+
+class CometEstimator:
+    """Measures pollution effects and predicts post-cleaning accuracy."""
+
+    def __init__(
+        self,
+        estimator: BaseEstimator,
+        label: str,
+        config: CometConfig | None = None,
+        rng: np.random.Generator | int | None = None,
+        task: str = "classification",
+    ) -> None:
+        self.estimator = estimator
+        self.label = label
+        self.config = config or CometConfig()
+        self.task = task
+        self._rng = np.random.default_rng(rng)
+        #: (feature, error) → list of observed (actual − predicted) F1 gaps.
+        self._discrepancies: dict[tuple[str, str], list[float]] = {}
+
+    # ------------------------------------------------------------------ #
+    # E1: pollution effect measurement
+    # ------------------------------------------------------------------ #
+    def measure_baseline(self, train: DataFrame, test: DataFrame) -> float:
+        """F1 of the model on the current (unmodified) data state."""
+        model = TabularModel(self.estimator, label=self.label, task=self.task)
+        return model.fit_score(train, test)
+
+    def measure_pollution_curve(
+        self,
+        train: DataFrame,
+        test: DataFrame,
+        feature: str,
+        error: ErrorType,
+        baseline_f1: float,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Measure F1 at increasing pollution of ``feature`` (E1).
+
+        Train and test are polluted separately (same levels, independent
+        cells) to avoid leakage, per §3.1. Returns (levels, scores,
+        polluted train rows), where level 0 carries the baseline.
+        """
+        cfg = self.config
+        levels = [0.0]
+        scores = [baseline_f1]
+        touched: list[np.ndarray] = []
+        for __ in range(cfg.n_combinations):
+            seed = self._rng.integers(2**63)
+            train_polluter = Polluter(error, step=cfg.step, rng=np.random.default_rng(seed))
+            test_polluter = Polluter(
+                error, step=cfg.step, rng=np.random.default_rng(seed + 1)
+            )
+            train_states = train_polluter.incremental_states(
+                train, feature, n_steps=cfg.n_pollution_steps
+            )[0]
+            test_states = test_polluter.incremental_states(
+                test, feature, n_steps=cfg.n_pollution_steps
+            )[0]
+            for train_state, test_state in zip(train_states, test_states):
+                model = TabularModel(self.estimator, label=self.label, task=self.task)
+                f1 = model.fit_score(train_state.frame, test_state.frame)
+                levels.append(train_state.level)
+                scores.append(f1)
+            touched.append(train_states[-1].rows)
+        polluted_rows = np.unique(np.concatenate(touched)) if touched else np.array([], int)
+        return np.asarray(levels), np.asarray(scores), polluted_rows
+
+    # ------------------------------------------------------------------ #
+    # E2: predictive model construction
+    # ------------------------------------------------------------------ #
+    def predict_cleaning(
+        self,
+        feature: str,
+        error: ErrorType,
+        levels: np.ndarray,
+        scores: np.ndarray,
+        polluted_rows: np.ndarray,
+    ) -> Prediction:
+        """Fit the Bayesian regression and extrapolate to level ``−step``."""
+        cfg = self.config
+        design = polynomial_design(levels, degree=cfg.regression_degree)
+        model = BayesianLinearRegression().fit(design, scores)
+        probe = polynomial_design(np.array([-cfg.step]), degree=cfg.regression_degree)
+        mean, lower, upper = model.credible_interval(probe, level=cfg.credible_level)
+        predicted = float(mean[0])
+        uncertainty = float(upper[0] - lower[0])
+        if cfg.adjust_predictions:
+            history = self._discrepancies.get((feature, error.name))
+            if history:
+                predicted += float(np.mean(history))
+        return Prediction(
+            feature=feature,
+            error=error.name,
+            predicted_f1=predicted,
+            uncertainty=uncertainty,
+            levels=levels,
+            scores=scores,
+            polluted_rows=polluted_rows,
+        )
+
+    def estimate(
+        self,
+        train: DataFrame,
+        test: DataFrame,
+        feature: str,
+        error: ErrorType,
+        baseline_f1: float,
+    ) -> Prediction:
+        """E1 followed by E2 for one candidate."""
+        levels, scores, rows = self.measure_pollution_curve(
+            train, test, feature, error, baseline_f1
+        )
+        return self.predict_cleaning(feature, error, levels, scores, rows)
+
+    # ------------------------------------------------------------------ #
+    # discrepancy feedback (§3.3)
+    # ------------------------------------------------------------------ #
+    def record_outcome(self, prediction: Prediction, actual_f1: float) -> None:
+        """Feed a realized post-cleaning F1 back into the predictive model.
+
+        The Estimator adjusts even when the Recommender judged the cleaning
+        inefficient and reverted it (§3.3).
+        """
+        key = (prediction.feature, prediction.error)
+        self._discrepancies.setdefault(key, []).append(
+            actual_f1 - prediction.predicted_f1
+        )
+
+    def discrepancy_history(self, feature: str, error: str) -> list[float]:
+        """Observed (actual − predicted) gaps for the pair."""
+        return list(self._discrepancies.get((feature, error), []))

@@ -1,0 +1,96 @@
+"""The Recommender (§3.3): score, rank, and select cleaning candidates.
+
+Implements Eq. 4: ``Score(f) = (P_next(f) − U(f)) / C(f)``, with the
+predicted quantity expressed as a *gain* over the current F1 so that
+"(A) Select Positives" has a direct reading: candidates whose predicted
+post-cleaning F1 exceeds the current one. (The paper's Eq. 4 prose calls
+``P_next`` the "predicted accuracy gain" while its example plugs in an
+absolute F1 — the gain form is the one that makes cost normalization
+meaningful, and we document the choice here and in DESIGN.md.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cleaning.cost import CostModel
+from repro.core.config import CometConfig
+from repro.core.estimator import Prediction
+
+__all__ = ["ScoredCandidate", "CometRecommender"]
+
+
+@dataclass
+class ScoredCandidate:
+    """A (feature, error) candidate with its Recommender score."""
+
+    prediction: Prediction
+    gain: float
+    cost: float
+    score: float
+
+    @property
+    def feature(self) -> str:
+        """Feature name of the candidate."""
+        return self.prediction.feature
+
+    @property
+    def error(self) -> str:
+        """Error-type name of the candidate."""
+        return self.prediction.error
+
+
+class CometRecommender:
+    """Ranks predictions and remembers past outcomes for the fallback."""
+
+    def __init__(self, config: CometConfig | None = None) -> None:
+        self.config = config or CometConfig()
+        #: (feature, error) → best F1 ever realized right after cleaning it.
+        self._best_realized: dict[tuple[str, str], float] = {}
+
+    def rank(
+        self,
+        predictions: list[Prediction],
+        baseline_f1: float,
+        cost_model: CostModel,
+    ) -> list[ScoredCandidate]:
+        """Steps (A) and (B) of Figure 2: select positives, score, rank."""
+        cfg = self.config
+        candidates = []
+        for prediction in predictions:
+            gain = prediction.predicted_f1 - baseline_f1
+            if gain <= 0.0:
+                continue  # (A) Select Positives
+            cost = cost_model.next_cost(prediction.feature, prediction.error)
+            effective = gain - prediction.uncertainty if cfg.use_uncertainty else gain
+            score = effective / max(cost, cfg.min_cost)
+            candidates.append(
+                ScoredCandidate(prediction=prediction, gain=gain, cost=cost, score=score)
+            )
+        return sorted(candidates, key=lambda c: c.score, reverse=True)
+
+    # ------------------------------------------------------------------ #
+    # outcome memory and fallback (§3.3, step E)
+    # ------------------------------------------------------------------ #
+    def record_outcome(self, feature: str, error: str, f1_after: float) -> None:
+        """Remember the realized post-cleaning F1 for the fallback."""
+        key = (feature, error)
+        best = self._best_realized.get(key)
+        if best is None or f1_after > best:
+            self._best_realized[key] = f1_after
+
+    def fallback_candidate(
+        self, available: list[tuple[str, str]]
+    ) -> tuple[str, str] | None:
+        """The candidate that previously achieved the highest post-cleaning
+        F1; if none has history yet, the first available candidate."""
+        if not available:
+            return None
+        with_history = [
+            (self._best_realized[pair], pair)
+            for pair in available
+            if pair in self._best_realized
+        ]
+        if with_history:
+            return max(with_history)[1]
+        return available[0]

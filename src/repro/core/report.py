@@ -1,0 +1,99 @@
+"""Human-readable session reports for cleaning traces.
+
+Summarizes a finished (or in-progress) COMET/baseline run as markdown: the
+F1 trajectory, per-iteration decisions, budget allocation by feature and
+error type, prediction quality, and buffer/fallback statistics.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.core.trace import CleaningTrace
+
+__all__ = ["session_report"]
+
+
+def session_report(trace: CleaningTrace, title: str = "Cleaning session") -> str:
+    """Render a markdown report of a cleaning run."""
+    lines = [f"# {title}", ""]
+    lines += _summary_section(trace)
+    if trace.records:
+        lines += _iteration_table(trace)
+        lines += _allocation_section(trace)
+        lines += _prediction_section(trace)
+    return "\n".join(lines) + "\n"
+
+
+def _summary_section(trace: CleaningTrace) -> list[str]:
+    gain = trace.final_f1 - trace.initial_f1
+    n_fallback = sum(1 for r in trace.records if r.used_fallback)
+    n_buffer = sum(1 for r in trace.records if r.from_buffer)
+    n_reverts = sum(len(r.rejected) for r in trace.records)
+    return [
+        "## Summary",
+        "",
+        f"* score: {trace.initial_f1:.4f} → {trace.final_f1:.4f} ({gain:+.4f})",
+        f"* budget spent: {trace.total_spent:g}",
+        f"* cleaning steps kept: {len(trace.records)}"
+        f" (fallbacks: {n_fallback}, buffer replays: {n_buffer},"
+        f" reverted attempts: {n_reverts})",
+        "",
+    ]
+
+
+def _iteration_table(trace: CleaningTrace) -> list[str]:
+    lines = [
+        "## Iterations",
+        "",
+        "| # | feature | error | cost | spent | score | Δ | notes |",
+        "|---|---------|-------|------|-------|-------|---|-------|",
+    ]
+    for r in trace.records:
+        notes = []
+        if r.used_fallback:
+            notes.append("fallback")
+        if r.from_buffer:
+            notes.append("buffer")
+        if r.rejected:
+            notes.append("reverted: " + ", ".join(f"{f}/{e}" for f, e in r.rejected))
+        lines.append(
+            f"| {r.iteration} | {r.feature} | {r.error} | {r.cost:g} "
+            f"| {r.budget_spent:g} | {r.f1_after:.4f} | {r.gain:+.4f} "
+            f"| {'; '.join(notes)} |"
+        )
+    lines.append("")
+    return lines
+
+
+def _allocation_section(trace: CleaningTrace) -> list[str]:
+    by_feature: dict[str, float] = defaultdict(float)
+    by_error: dict[str, float] = defaultdict(float)
+    for r in trace.records:
+        by_feature[r.feature] += r.cost
+        by_error[r.error] += r.cost
+    lines = ["## Budget allocation", ""]
+    lines.append("by feature: " + ", ".join(
+        f"{f}={c:g}" for f, c in sorted(by_feature.items(), key=lambda kv: -kv[1])
+    ))
+    lines.append("by error type: " + ", ".join(
+        f"{e}={c:g}" for e, c in sorted(by_error.items(), key=lambda kv: -kv[1])
+    ))
+    lines.append("")
+    return lines
+
+
+def _prediction_section(trace: CleaningTrace) -> list[str]:
+    errors = trace.prediction_errors()
+    lines = ["## Estimator quality", ""]
+    if errors:
+        lines.append(
+            f"* prediction MAE: {np.mean(errors):.4f} over {len(errors)} kept steps"
+            f" (worst {max(errors):.4f})"
+        )
+    else:
+        lines.append("* no predictions recorded (fallback-only run)")
+    lines.append("")
+    return lines

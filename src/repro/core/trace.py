@@ -1,0 +1,119 @@
+"""Cleaning traces: the (budget, F1) series every experiment reports."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["IterationRecord", "CleaningTrace"]
+
+
+@dataclass
+class IterationRecord:
+    """Outcome of one cleaning iteration."""
+
+    iteration: int
+    feature: str
+    error: str
+    cost: float
+    budget_spent: float
+    f1_before: float
+    f1_after: float
+    predicted_f1: float | None = None
+    used_fallback: bool = False
+    from_buffer: bool = False
+    reverted: bool = False
+    #: Candidates tried and reverted earlier in the same iteration.
+    rejected: list = field(default_factory=list)
+
+    @property
+    def gain(self) -> float:
+        """F1 change of this iteration (after minus before)."""
+        return self.f1_after - self.f1_before
+
+
+@dataclass
+class CleaningTrace:
+    """The full history of a cleaning run.
+
+    ``f1_at(budget_grid)`` evaluates the run as a step function over spent
+    budget: the F1 achieved at the last iteration whose cumulative cost is
+    ≤ the grid point — the paper's propagation rule ("we propagate the F1
+    scores achieved from previously utilized budget units until an actual
+    F1 score is measured").
+    """
+
+    initial_f1: float
+    records: list[IterationRecord] = field(default_factory=list)
+
+    def append(self, record: IterationRecord) -> None:
+        """Add an iteration record to the trace."""
+        self.records.append(record)
+
+    @property
+    def total_spent(self) -> float:
+        """Budget spent up to the last record."""
+        return self.records[-1].budget_spent if self.records else 0.0
+
+    @property
+    def final_f1(self) -> float:
+        """F1 after the last record (initial F1 when empty)."""
+        return self.records[-1].f1_after if self.records else self.initial_f1
+
+    def f1_at(self, budget_grid: np.ndarray | list) -> np.ndarray:
+        """Step-function F1 over a budget grid, with propagation."""
+        grid = np.asarray(budget_grid, dtype=float)
+        spent = np.array([r.budget_spent for r in self.records])
+        scores = np.array([r.f1_after for r in self.records])
+        out = np.full(grid.shape, self.initial_f1)
+        for i, b in enumerate(grid):
+            hit = np.flatnonzero(spent <= b + 1e-9)
+            if hit.size:
+                out[i] = scores[hit[-1]]
+        return out
+
+    def prediction_errors(self) -> list[float]:
+        """|predicted − actual| F1 per iteration where a prediction existed
+        and the step was kept (the Figure 11 MAE inputs)."""
+        return [
+            abs(r.predicted_f1 - r.f1_after)
+            for r in self.records
+            if r.predicted_f1 is not None and not r.reverted
+        ]
+
+    # ------------------------------------------------------------------ #
+    # persistence — long experiment campaigns save traces between stages
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """Plain-python representation (round-trips via :meth:`from_dict`)."""
+        return {
+            "initial_f1": self.initial_f1,
+            "records": [
+                {**asdict(r), "rejected": [list(pair) for pair in r.rejected]}
+                for r in self.records
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CleaningTrace":
+        """Rebuild a trace produced by :meth:`to_dict`."""
+        trace = cls(initial_f1=float(data["initial_f1"]))
+        for raw in data.get("records", []):
+            raw = dict(raw)
+            raw["rejected"] = [tuple(pair) for pair in raw.get("rejected", [])]
+            trace.append(IterationRecord(**raw))
+        return trace
+
+    def save(self, path: str | Path) -> None:
+        """Write the trace as JSON."""
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=2)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "CleaningTrace":
+        """Read a trace written by :meth:`save`."""
+        with open(path) as fh:
+            return cls.from_dict(json.load(fh))

@@ -1,0 +1,31 @@
+"""Datasets (§4.3): seeded synthetic equivalents of the paper's seven
+classification datasets.
+
+The reproduction environment has no network access, so each public dataset
+(UCI / Kaggle / CleanML) is replaced by a generator that matches its Table 1
+schema — row count, number of categorical and numerical features, number of
+classes, and class balance — and plants learnable feature → label signal
+with per-feature importance spread. COMET never inspects dataset semantics,
+only the (data, model) → F1 response to cell edits, so this preserves the
+phenomena the experiments measure. See DESIGN.md §2 for the substitution
+argument.
+"""
+
+from repro.datasets.cleanml import CLEANML_ERRORS, load_cleanml
+from repro.datasets.registry import (
+    DATASET_NAMES,
+    TabularDataset,
+    dataset_summaries,
+    load_dataset,
+    pollute,
+)
+
+__all__ = [
+    "TabularDataset",
+    "load_dataset",
+    "pollute",
+    "dataset_summaries",
+    "DATASET_NAMES",
+    "load_cleanml",
+    "CLEANML_ERRORS",
+]

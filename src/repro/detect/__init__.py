@@ -1,0 +1,50 @@
+"""Error detection and automatic repair (§4.2's cleaning mechanics).
+
+The paper's cost-model rationale names concrete detection techniques:
+outlier detection for scaling errors, noise-distribution estimation for
+Gaussian noise, plain scans for missing values, and functional-dependency /
+association-rule mining for categorical shifts. This subpackage implements
+those detectors plus matching repairers, and the resulting
+:class:`~repro.detect.cleaner.AlgorithmicCleaner` — a Cleaner that works on
+*detected* cells rather than ground truth, so COMET can drive a fully
+automatic pipeline (the "algorithm-based Cleaner" of §3).
+"""
+
+from repro.detect.cleaner import AlgorithmicCleaner
+from repro.detect.detectors import (
+    CategoricalShiftDetector,
+    Detection,
+    Detector,
+    MissingValueDetector,
+    NoiseDetector,
+    ScalingDetector,
+    detector_for,
+)
+from repro.detect.fd import ApproximateFD, discover_fds
+from repro.detect.repair import (
+    ConditionalModeRepairer,
+    MeanRepairer,
+    MedianRepairer,
+    ModeRepairer,
+    Repairer,
+    repairer_for,
+)
+
+__all__ = [
+    "Detection",
+    "Detector",
+    "MissingValueDetector",
+    "NoiseDetector",
+    "ScalingDetector",
+    "CategoricalShiftDetector",
+    "detector_for",
+    "ApproximateFD",
+    "discover_fds",
+    "Repairer",
+    "MeanRepairer",
+    "MedianRepairer",
+    "ModeRepairer",
+    "ConditionalModeRepairer",
+    "repairer_for",
+    "AlgorithmicCleaner",
+]

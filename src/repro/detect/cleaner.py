@@ -1,0 +1,157 @@
+"""An algorithmic Cleaner: detect → repair, no ground truth.
+
+Drop-in alternative to :class:`~repro.cleaning.GroundTruthCleaner` with the
+same ``clean_step`` / ``revert`` / ``apply`` interface, so a COMET session
+can run fully automatically (§3's "algorithm-based" Cleaner). Each step
+detects suspicious cells of the requested (feature, error) pair, repairs
+up to one step's worth by imputation, and reports what it did.
+
+Repaired cells are removed from the dataset's dirty bookkeeping when they
+were genuinely dirty — the bookkeeping is the experiment's ground-truth
+ledger, and an addressed error no longer counts as open even if the
+imputed value is only an estimate. Falsely-flagged clean cells get
+repaired too (imputation noise), exactly the real-world cost of automatic
+cleaning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cleaning.cleaner import CleaningAction
+from repro.detect.detectors import Detector, detector_for
+from repro.detect.repair import Repairer, repairer_for
+from repro.errors.prepollution import PollutedDataset
+
+__all__ = ["AlgorithmicCleaner"]
+
+
+class AlgorithmicCleaner:
+    """Detect-and-impute Cleaner with COMET's cleaning-step granularity.
+
+    Parameters
+    ----------
+    step:
+        Cleaning step as a fraction of each split (1 % in the paper).
+    detectors / repairers:
+        Optional overrides per error-type name; defaults come from
+        :func:`detector_for` / :func:`repairer_for`.
+    """
+
+    def __init__(
+        self,
+        step: float = 0.01,
+        detectors: dict[str, Detector] | None = None,
+        repairers: dict[str, Repairer] | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if not 0.0 < step <= 1.0:
+            raise ValueError(f"step must be in (0, 1], got {step}")
+        self.step = step
+        self.detectors = dict(detectors or {})
+        self.repairers = dict(repairers or {})
+        self._rng = np.random.default_rng(rng)
+
+    def cells_per_step(self, n_rows: int) -> int:
+        """Number of cells one cleaning step covers."""
+        return max(1, int(round(self.step * n_rows)))
+
+    def _detector(self, error: str) -> Detector:
+        if error not in self.detectors:
+            self.detectors[error] = detector_for(error)
+        return self.detectors[error]
+
+    def _repairer(self, error: str, numeric: bool) -> Repairer:
+        key = f"{error}:{'num' if numeric else 'cat'}"
+        if key not in self.repairers:
+            self.repairers[key] = repairer_for(error, numeric)
+        return self.repairers[key]
+
+    # ------------------------------------------------------------------ #
+    def clean_step(
+        self,
+        dataset: PollutedDataset,
+        feature: str,
+        error: str,
+        priority_train_rows: np.ndarray | None = None,
+    ) -> CleaningAction:
+        """Detect and repair one step's worth of cells, in place."""
+        train_rows = self._select_rows(
+            dataset, "train", feature, error, priority_train_rows
+        )
+        test_rows = self._select_rows(dataset, "test", feature, error, None)
+        train_before = dataset.train[feature].copy()
+        test_before = dataset.test[feature].copy()
+        self._repair_split(dataset.train, feature, error, train_rows)
+        self._repair_split(dataset.test, feature, error, test_rows)
+        dirty_train_removed = self._intersect(
+            dataset.dirty_train.rows(feature, error), train_rows
+        )
+        dirty_test_removed = self._intersect(
+            dataset.dirty_test.rows(feature, error), test_rows
+        )
+        dataset.dirty_train.remove(feature, error, dirty_train_removed)
+        dataset.dirty_test.remove(feature, error, dirty_test_removed)
+        return CleaningAction(
+            feature=feature,
+            error=error,
+            train_rows=train_rows,
+            test_rows=test_rows,
+            train_before=train_before,
+            test_before=test_before,
+            train_after=dataset.train[feature].copy(),
+            test_after=dataset.test[feature].copy(),
+            dirty_train_removed=dirty_train_removed,
+            dirty_test_removed=dirty_test_removed,
+        )
+
+    def revert(self, dataset: PollutedDataset, action: CleaningAction) -> None:
+        """Undo a cleaning step (data and dirty bookkeeping)."""
+        dataset.train.set_column(action.train_before.copy())
+        dataset.test.set_column(action.test_before.copy())
+        dataset.dirty_train.add(action.feature, action.error, action.dirty_train_removed)
+        dataset.dirty_test.add(action.feature, action.error, action.dirty_test_removed)
+
+    def apply(self, dataset: PollutedDataset, action: CleaningAction) -> None:
+        """Re-apply a previously reverted cleaning step."""
+        dataset.train.set_column(action.train_after.copy())
+        dataset.test.set_column(action.test_after.copy())
+        dataset.dirty_train.remove(action.feature, action.error, action.dirty_train_removed)
+        dataset.dirty_test.remove(action.feature, action.error, action.dirty_test_removed)
+
+    # ------------------------------------------------------------------ #
+    def _select_rows(
+        self,
+        dataset: PollutedDataset,
+        split: str,
+        feature: str,
+        error: str,
+        priority_rows: np.ndarray | None,
+    ) -> np.ndarray:
+        frame = dataset.train if split == "train" else dataset.test
+        detection = self._detector(error).detect(frame, feature)
+        n_cells = self.cells_per_step(frame.n_rows)
+        detected = detection.rows.tolist()
+        selected: list[int] = []
+        if priority_rows is not None:
+            flagged = set(detected)
+            selected = [int(r) for r in priority_rows if int(r) in flagged][:n_cells]
+        for row in detected:
+            if len(selected) >= n_cells:
+                break
+            if row not in set(selected):
+                selected.append(int(row))
+        return np.array(sorted(selected), dtype=int)
+
+    def _repair_split(self, frame, feature: str, error: str, rows: np.ndarray) -> None:
+        if rows.size == 0:
+            return
+        column = frame[feature]
+        repairer = self._repairer(error, column.is_numeric)
+        column.set_values(rows, repairer.repair(frame, feature, rows))
+
+    @staticmethod
+    def _intersect(dirty_rows: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        return np.array(
+            sorted(set(dirty_rows.tolist()) & set(rows.tolist())), dtype=int
+        )

@@ -1,0 +1,192 @@
+"""Per-error-type cell detectors.
+
+Each detector inspects one feature column (optionally with the rest of the
+frame as context) and returns the rows it believes are dirty, with a
+per-row suspicion score — no ground truth involved. The techniques follow
+§4.2's descriptions:
+
+* missing values — a direct scan of the missing mask;
+* scaling errors — magnitude outliers (robust log-scale MAD test: a cell
+  ×10/×100/×1000 sits far from the column's bulk);
+* Gaussian noise — distribution outliers after robust standardization;
+* categorical shift — violations of approximate functional dependencies
+  against the other categorical columns.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.detect.fd import discover_fds
+from repro.frame import DataFrame
+
+__all__ = [
+    "Detection",
+    "Detector",
+    "MissingValueDetector",
+    "ScalingDetector",
+    "NoiseDetector",
+    "CategoricalShiftDetector",
+    "detector_for",
+]
+
+
+@dataclass
+class Detection:
+    """Rows a detector flags in one feature, most suspicious first."""
+
+    feature: str
+    error: str
+    rows: np.ndarray
+    scores: np.ndarray = field(default_factory=lambda: np.array([]))
+
+    def top(self, n: int) -> np.ndarray:
+        """The ``n`` most suspicious rows."""
+        return self.rows[:n]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class Detector(abc.ABC):
+    """Detects one error type in one feature column."""
+
+    #: Error-type name this detector targets.
+    error: str = ""
+
+    @abc.abstractmethod
+    def detect(self, frame: DataFrame, feature: str) -> Detection:
+        """Return suspected dirty rows of ``feature``."""
+
+
+class MissingValueDetector(Detector):
+    """Missing cells are directly observable from the missing mask."""
+
+    error = "missing"
+
+    def detect(self, frame: DataFrame, feature: str) -> Detection:
+        """Return suspected dirty rows of ``feature`` in ``frame``."""
+        rows = np.flatnonzero(frame[feature].missing_mask)
+        return Detection(
+            feature=feature, error=self.error, rows=rows, scores=np.ones(len(rows))
+        )
+
+
+class ScalingDetector(Detector):
+    """Magnitude outliers: cells whose |log10| distance from the column
+    median exceeds ``threshold_decades`` decades.
+
+    A ×10 scaling error moves a cell one full decade; the robust median
+    baseline keeps up to ~40 % dirty cells from masking themselves.
+    """
+
+    error = "scaling"
+
+    def __init__(self, threshold_decades: float = 0.8) -> None:
+        if threshold_decades <= 0:
+            raise ValueError("threshold_decades must be positive")
+        self.threshold_decades = threshold_decades
+
+    def detect(self, frame: DataFrame, feature: str) -> Detection:
+        """Return suspected dirty rows of ``feature`` in ``frame``."""
+        column = frame[feature]
+        values = column.values
+        present = ~column.missing_mask & np.isfinite(values)
+        magnitudes = np.full(len(values), np.nan)
+        nonzero = present & (np.abs(values) > 1e-12)
+        magnitudes[nonzero] = np.log10(np.abs(values[nonzero]))
+        baseline = np.nanmedian(magnitudes) if nonzero.any() else 0.0
+        distance = np.abs(magnitudes - baseline)
+        suspects = np.flatnonzero(np.nan_to_num(distance, nan=0.0) > self.threshold_decades)
+        order = np.argsort(-distance[suspects], kind="stable")
+        rows = suspects[order]
+        return Detection(
+            feature=feature, error=self.error, rows=rows, scores=distance[rows]
+        )
+
+
+class NoiseDetector(Detector):
+    """Distribution outliers after robust (median/MAD) standardization.
+
+    Estimates the clean noise level from the column bulk and flags cells
+    beyond ``z_threshold`` robust standard deviations — §4.2's "estimating
+    noise distribution and identifying strong outliers".
+    """
+
+    error = "noise"
+
+    def __init__(self, z_threshold: float = 3.0) -> None:
+        if z_threshold <= 0:
+            raise ValueError("z_threshold must be positive")
+        self.z_threshold = z_threshold
+
+    def detect(self, frame: DataFrame, feature: str) -> Detection:
+        """Return suspected dirty rows of ``feature`` in ``frame``."""
+        column = frame[feature]
+        values = column.values
+        present = ~column.missing_mask & np.isfinite(values)
+        if present.sum() < 5:
+            return Detection(feature=feature, error=self.error,
+                             rows=np.array([], int), scores=np.array([]))
+        bulk = values[present]
+        median = float(np.median(bulk))
+        mad = float(np.median(np.abs(bulk - median)))
+        scale = 1.4826 * mad if mad > 0 else float(bulk.std()) or 1.0
+        z = np.zeros(len(values))
+        z[present] = np.abs(values[present] - median) / scale
+        suspects = np.flatnonzero(z > self.z_threshold)
+        order = np.argsort(-z[suspects], kind="stable")
+        rows = suspects[order]
+        return Detection(feature=feature, error=self.error, rows=rows, scores=z[rows])
+
+
+class CategoricalShiftDetector(Detector):
+    """FD-violation detection for categorical shifts.
+
+    Mines approximate FDs between the target feature and the other
+    categorical columns (both directions) and flags rows that violate
+    them; each violated dependency adds the FD's confidence to the row's
+    suspicion score.
+    """
+
+    error = "categorical"
+
+    def __init__(self, min_confidence: float = 0.85) -> None:
+        self.min_confidence = min_confidence
+
+    def detect(self, frame: DataFrame, feature: str) -> Detection:
+        """Return suspected dirty rows of ``feature`` in ``frame``."""
+        others = [c for c in frame.categorical_columns() if c != feature]
+        scores = np.zeros(frame.n_rows)
+        for other in others:
+            fds = discover_fds(
+                frame, columns=[feature, other], min_confidence=self.min_confidence
+            )
+            for fd in fds:
+                if feature not in (fd.lhs, fd.rhs):
+                    continue
+                for row in fd.violations(frame):
+                    scores[row] += fd.confidence
+        suspects = np.flatnonzero(scores > 0.0)
+        order = np.argsort(-scores[suspects], kind="stable")
+        rows = suspects[order]
+        return Detection(feature=feature, error=self.error, rows=rows, scores=scores[rows])
+
+
+def detector_for(error: str) -> Detector:
+    """Default detector instance for an error-type name."""
+    factories = {
+        "missing": MissingValueDetector,
+        "scaling": ScalingDetector,
+        "noise": NoiseDetector,
+        "categorical": CategoricalShiftDetector,
+    }
+    try:
+        return factories[error]()
+    except KeyError:
+        raise ValueError(
+            f"no detector for error type {error!r}; available: {sorted(factories)}"
+        ) from None

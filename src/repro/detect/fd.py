@@ -1,0 +1,116 @@
+"""Approximate functional-dependency discovery over categorical columns.
+
+§4.2 motivates categorical-shift detection with "FD discovery algorithms
+or association rule mining": a shifted category breaks dependencies that
+hold for the clean majority. This module mines pairwise approximate FDs
+``X → Y`` (a TANE-style single-attribute restriction: for each value of X,
+one Y value dominates) and reports their confidence, so a detector can
+flag rows violating high-confidence dependencies.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.frame import DataFrame
+
+__all__ = ["ApproximateFD", "discover_fds"]
+
+
+@dataclass(frozen=True)
+class ApproximateFD:
+    """A pairwise approximate functional dependency ``lhs → rhs``.
+
+    ``confidence`` is the fraction of rows whose ``rhs`` value equals the
+    majority ``rhs`` value of their ``lhs`` group — 1.0 for an exact FD.
+    """
+
+    lhs: str
+    rhs: str
+    confidence: float
+
+    def violations(self, frame: DataFrame) -> np.ndarray:
+        """Row indices whose ``rhs`` value deviates from their group majority."""
+        lhs_values = frame[self.lhs].values
+        rhs_values = frame[self.rhs].values
+        majority = _group_majorities(lhs_values, rhs_values)
+        out = []
+        for row in range(frame.n_rows):
+            left, right = lhs_values[row], rhs_values[row]
+            if left is None or right is None:
+                continue
+            expected = majority.get(left)
+            if expected is not None and right != expected:
+                out.append(row)
+        return np.array(out, dtype=int)
+
+
+def discover_fds(
+    frame: DataFrame,
+    columns: list[str] | None = None,
+    min_confidence: float = 0.9,
+    min_group_size: int = 3,
+) -> list[ApproximateFD]:
+    """Mine pairwise approximate FDs among categorical columns.
+
+    Parameters
+    ----------
+    frame:
+        Data to mine.
+    columns:
+        Candidate columns; defaults to all categorical columns.
+    min_confidence:
+        Minimum fraction of rows agreeing with their group's majority.
+    min_group_size:
+        Groups smaller than this are ignored when scoring (their majority
+        is not meaningful evidence).
+
+    Returns FDs sorted by decreasing confidence.
+    """
+    if not 0.0 < min_confidence <= 1.0:
+        raise ValueError("min_confidence must be in (0, 1]")
+    names = columns if columns is not None else frame.categorical_columns()
+    fds = []
+    for lhs in names:
+        for rhs in names:
+            if lhs == rhs:
+                continue
+            confidence = _fd_confidence(
+                frame[lhs].values, frame[rhs].values, min_group_size
+            )
+            if confidence is not None and confidence >= min_confidence:
+                fds.append(ApproximateFD(lhs=lhs, rhs=rhs, confidence=confidence))
+    return sorted(fds, key=lambda fd: fd.confidence, reverse=True)
+
+
+def _group_majorities(lhs_values: np.ndarray, rhs_values: np.ndarray) -> dict:
+    groups: dict = defaultdict(Counter)
+    for left, right in zip(lhs_values.tolist(), rhs_values.tolist()):
+        if left is None or right is None:
+            continue
+        groups[left][right] += 1
+    return {left: counts.most_common(1)[0][0] for left, counts in groups.items()}
+
+
+def _fd_confidence(
+    lhs_values: np.ndarray, rhs_values: np.ndarray, min_group_size: int
+) -> float | None:
+    groups: dict = defaultdict(Counter)
+    for left, right in zip(lhs_values.tolist(), rhs_values.tolist()):
+        if left is None or right is None:
+            continue
+        groups[left][right] += 1
+    agreeing = 0
+    total = 0
+    for counts in groups.values():
+        size = sum(counts.values())
+        if size < min_group_size:
+            continue
+        agreeing += counts.most_common(1)[0][1]
+        total += size
+    if total == 0:
+        return None
+    return agreeing / total

@@ -1,0 +1,156 @@
+"""Cell repairers: replace suspected-dirty cells with imputed values.
+
+§4.2 pairs every detection technique with imputation-based correction;
+these repairers implement the imputation side. They never see ground
+truth: repairs are computed from the column's (believed-clean) bulk.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import Counter, defaultdict
+
+import numpy as np
+
+from repro.frame import Column, DataFrame
+
+__all__ = [
+    "Repairer",
+    "MeanRepairer",
+    "MedianRepairer",
+    "ModeRepairer",
+    "ConditionalModeRepairer",
+    "repairer_for",
+]
+
+
+class Repairer(abc.ABC):
+    """Computes replacement values for flagged cells of one feature."""
+
+    @abc.abstractmethod
+    def repair(self, frame: DataFrame, feature: str, rows: np.ndarray) -> list:
+        """Replacement values for ``feature`` at ``rows``."""
+
+    def apply(self, frame: DataFrame, feature: str, rows: np.ndarray) -> DataFrame:
+        """Return a copy of ``frame`` with the cells repaired."""
+        if rows.size == 0:
+            return frame.copy()
+        column = frame[feature].copy()
+        column.set_values(rows, self.repair(frame, feature, rows))
+        return frame.with_column(column)
+
+
+def _clean_bulk(column: Column, exclude: np.ndarray) -> np.ndarray:
+    """Values of the column outside ``exclude`` and not missing."""
+    mask = ~column.missing_mask
+    mask[exclude] = False
+    return column.values[mask]
+
+
+class MeanRepairer(Repairer):
+    """Impute with the mean of the untouched, finite cells."""
+
+    def repair(self, frame: DataFrame, feature: str, rows: np.ndarray) -> list:
+        """Replacement values for ``feature`` at ``rows``."""
+        column = frame[feature]
+        if not column.is_numeric:
+            raise ValueError(f"MeanRepairer needs a numeric column, got {feature!r}")
+        bulk = _clean_bulk(column, rows)
+        bulk = bulk[np.isfinite(bulk)]
+        value = float(bulk.mean()) if bulk.size else 0.0
+        return [value] * len(rows)
+
+
+class MedianRepairer(Repairer):
+    """Impute with the median — robust when many cells are flagged."""
+
+    def repair(self, frame: DataFrame, feature: str, rows: np.ndarray) -> list:
+        """Replacement values for ``feature`` at ``rows``."""
+        column = frame[feature]
+        if not column.is_numeric:
+            raise ValueError(f"MedianRepairer needs a numeric column, got {feature!r}")
+        bulk = _clean_bulk(column, rows)
+        bulk = bulk[np.isfinite(bulk)]
+        value = float(np.median(bulk)) if bulk.size else 0.0
+        return [value] * len(rows)
+
+
+class ModeRepairer(Repairer):
+    """Impute with the most frequent category of the untouched cells."""
+
+    def repair(self, frame: DataFrame, feature: str, rows: np.ndarray) -> list:
+        """Replacement values for ``feature`` at ``rows``."""
+        column = frame[feature]
+        if not column.is_categorical:
+            raise ValueError(f"ModeRepairer needs a categorical column, got {feature!r}")
+        bulk = _clean_bulk(column, rows).tolist()
+        if not bulk:
+            return [None] * len(rows)
+        mode = Counter(bulk).most_common(1)[0][0]
+        return [mode] * len(rows)
+
+
+class ConditionalModeRepairer(Repairer):
+    """Impute a category conditioned on a correlated categorical column.
+
+    The FD-based repair §4.2 implies: for each flagged row, take the
+    majority category among untouched rows sharing the row's value in the
+    most informative other categorical column; fall back to the global
+    mode.
+    """
+
+    def __init__(self, condition_on: str | None = None) -> None:
+        self.condition_on = condition_on
+
+    def repair(self, frame: DataFrame, feature: str, rows: np.ndarray) -> list:
+        """Replacement values for ``feature`` at ``rows``."""
+        column = frame[feature]
+        if not column.is_categorical:
+            raise ValueError(
+                f"ConditionalModeRepairer needs a categorical column, got {feature!r}"
+            )
+        condition = self.condition_on or self._pick_condition(frame, feature)
+        if condition is None:
+            return ModeRepairer().repair(frame, feature, rows)
+        cond_values = frame[condition].values
+        flagged = set(rows.tolist())
+        groups: dict = defaultdict(Counter)
+        global_counts: Counter = Counter()
+        for row in range(frame.n_rows):
+            if row in flagged or column.missing_mask[row]:
+                continue
+            value = column.values[row]
+            global_counts[value] += 1
+            key = cond_values[row]
+            if key is not None:
+                groups[key][value] += 1
+        fallback = global_counts.most_common(1)[0][0] if global_counts else None
+        out = []
+        for row in rows:
+            key = cond_values[row]
+            counts = groups.get(key)
+            out.append(counts.most_common(1)[0][0] if counts else fallback)
+        return out
+
+    @staticmethod
+    def _pick_condition(frame: DataFrame, feature: str) -> str | None:
+        from repro.detect.fd import discover_fds
+
+        candidates = [c for c in frame.categorical_columns() if c != feature]
+        best, best_confidence = None, 0.0
+        for other in candidates:
+            for fd in discover_fds(frame, columns=[other, feature], min_confidence=0.5):
+                if fd.lhs == other and fd.rhs == feature and fd.confidence > best_confidence:
+                    best, best_confidence = other, fd.confidence
+        return best
+
+
+def repairer_for(error: str, column_is_numeric: bool) -> Repairer:
+    """Default repairer for an error-type name and column kind."""
+    if error in ("scaling", "noise"):
+        return MedianRepairer()
+    if error == "missing":
+        return MeanRepairer() if column_is_numeric else ModeRepairer()
+    if error == "categorical":
+        return ConditionalModeRepairer()
+    raise ValueError(f"no repairer for error type {error!r}")

@@ -1,0 +1,32 @@
+"""Error injection (the paper's Polluter substrate, modelled on JENGA).
+
+The four error types from §3.4 — missing values, Gaussian noise,
+categorical shift, and scaling — plus the §6 future-work type
+"inconsistent representations", the :class:`Polluter` that injects them
+incrementally, and the pre-pollution machinery of §4.1 that turns clean
+datasets into (dirty, ground-truth) pairs.
+"""
+
+from repro.errors.base import ErrorType, error_registry, make_error
+from repro.errors.categorical import CategoricalShift
+from repro.errors.inconsistent import InconsistentRepresentation
+from repro.errors.missing import MissingValues
+from repro.errors.noise import GaussianNoise
+from repro.errors.polluter import Polluter
+from repro.errors.prepollution import DirtyCells, PollutedDataset, PrePollution
+from repro.errors.scaling import Scaling
+
+__all__ = [
+    "ErrorType",
+    "error_registry",
+    "make_error",
+    "MissingValues",
+    "GaussianNoise",
+    "CategoricalShift",
+    "Scaling",
+    "InconsistentRepresentation",
+    "Polluter",
+    "PrePollution",
+    "PollutedDataset",
+    "DirtyCells",
+]

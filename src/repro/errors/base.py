@@ -1,0 +1,63 @@
+"""Error-type protocol and registry."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.frame import Column
+
+__all__ = ["ErrorType", "error_registry", "make_error", "register_error"]
+
+
+class ErrorType(abc.ABC):
+    """A kind of data error that can be injected into a column.
+
+    Implementations are stateless value generators: given a column and the
+    rows to corrupt, they return the corrupted values. The Polluter owns row
+    selection and bookkeeping.
+    """
+
+    #: Short identifier used throughout configs and reports
+    #: (``"missing"``, ``"noise"``, ``"categorical"``, ``"scaling"``).
+    name: str = ""
+
+    @abc.abstractmethod
+    def applies_to(self, column: Column) -> bool:
+        """Whether this error type can occur in ``column``."""
+
+    @abc.abstractmethod
+    def corrupt(
+        self, column: Column, rows: np.ndarray, rng: np.random.Generator
+    ) -> list:
+        """Return corrupted replacement values for ``column`` at ``rows``."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+_REGISTRY: dict[str, type[ErrorType]] = {}
+
+
+def register_error(cls: type[ErrorType]) -> type[ErrorType]:
+    """Class decorator adding an error type to the global registry."""
+    if not cls.name:
+        raise ValueError(f"{cls.__name__} must define a non-empty name")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def error_registry() -> dict[str, type[ErrorType]]:
+    """Name → class mapping of all registered error types."""
+    return dict(_REGISTRY)
+
+
+def make_error(name: str) -> ErrorType:
+    """Instantiate a registered error type with default parameters."""
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown error type {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None

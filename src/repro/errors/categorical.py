@@ -1,0 +1,39 @@
+"""Categorical-shift errors (§3.4): categories swapped for wrong ones."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors.base import ErrorType, register_error
+from repro.frame import Column
+
+__all__ = ["CategoricalShift"]
+
+
+@register_error
+class CategoricalShift(ErrorType):
+    """Swap each selected cell's category for a different one.
+
+    The replacement is drawn uniformly from the column's other observed
+    categories; single-category columns cannot shift, so cells keep their
+    value in that degenerate case.
+    """
+
+    name = "categorical"
+
+    def applies_to(self, column: Column) -> bool:
+        """Whether this error type can occur in ``column``."""
+        return column.is_categorical and len(column.categories()) >= 2
+
+    def corrupt(
+        self, column: Column, rows: np.ndarray, rng: np.random.Generator
+    ) -> list:
+        """Corrupted replacement values for ``column`` at ``rows``."""
+        categories = column.categories()
+        if len(categories) < 2:
+            return column.values[rows].tolist()
+        replacements = []
+        for value in column.values[rows].tolist():
+            others = [c for c in categories if c != value]
+            replacements.append(others[rng.integers(len(others))])
+        return replacements

@@ -1,0 +1,48 @@
+"""Inconsistent-representation errors (paper §6, future work).
+
+The same semantic value written differently — case changes, stray
+whitespace, abbreviation markers — so that encoders treat one category as
+several. This is the "inconsistent representations" error type the paper
+names as a future extension; cleaning it merges the variants back into the
+canonical spelling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors.base import ErrorType, register_error
+from repro.frame import Column
+
+__all__ = ["InconsistentRepresentation"]
+
+
+def _variants(value: str) -> list[str]:
+    """Plausible re-spellings of a categorical value."""
+    text = str(value)
+    out = [text.upper(), text.capitalize(), f" {text}", f"{text} ", f"{text}."]
+    return [v for v in out if v != text] or [f"{text}_"]
+
+
+@register_error
+class InconsistentRepresentation(ErrorType):
+    """Replace categorical cells with a re-spelling of the same value."""
+
+    name = "inconsistent"
+
+    def applies_to(self, column: Column) -> bool:
+        """Whether this error type can occur in ``column``."""
+        return column.is_categorical
+
+    def corrupt(
+        self, column: Column, rows: np.ndarray, rng: np.random.Generator
+    ) -> list:
+        """Corrupted replacement values for ``column`` at ``rows``."""
+        replacements = []
+        for value in column.values[rows].tolist():
+            if value is None:
+                replacements.append(None)
+                continue
+            options = _variants(value)
+            replacements.append(options[rng.integers(len(options))])
+        return replacements

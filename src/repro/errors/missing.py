@@ -1,0 +1,34 @@
+"""Missing-value errors (§3.4): cells replaced by a placeholder."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors.base import ErrorType, register_error
+from repro.frame import Column
+
+__all__ = ["MissingValues"]
+
+
+@register_error
+class MissingValues(ErrorType):
+    """Replace cells with a missing placeholder.
+
+    Numeric cells become ``nan`` and categorical cells ``None`` — the
+    frame's native missing representation, which the preprocessing stage
+    later imputes (numeric) or encodes as its own category (categorical),
+    mirroring how placeholder values flow through the paper's pipeline.
+    """
+
+    name = "missing"
+
+    def applies_to(self, column: Column) -> bool:
+        """Whether this error type can occur in ``column``."""
+        return True
+
+    def corrupt(
+        self, column: Column, rows: np.ndarray, rng: np.random.Generator
+    ) -> list:
+        """Corrupted replacement values for ``column`` at ``rows``."""
+        placeholder = np.nan if column.is_numeric else None
+        return [placeholder] * len(rows)

@@ -1,0 +1,51 @@
+"""Gaussian-noise errors (§3.4): additive noise on numeric cells."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors.base import ErrorType, register_error
+from repro.frame import Column
+
+__all__ = ["GaussianNoise"]
+
+
+@register_error
+class GaussianNoise(ErrorType):
+    """Add zero-mean Gaussian noise to numeric cells.
+
+    Per the paper, the standard deviation is drawn uniformly from
+    ``[sigma_min, sigma_max] = [1, 5]`` for each pollution action. The draw
+    is scaled by the column's robust spread so that "σ between 1 and 5"
+    means 1–5 column standard deviations regardless of the feature's units
+    (JENGA scales noise the same way).
+    """
+
+    name = "noise"
+
+    def __init__(self, sigma_min: float = 1.0, sigma_max: float = 5.0) -> None:
+        if sigma_min <= 0 or sigma_max < sigma_min:
+            raise ValueError("need 0 < sigma_min <= sigma_max")
+        self.sigma_min = sigma_min
+        self.sigma_max = sigma_max
+
+    def applies_to(self, column: Column) -> bool:
+        """Whether this error type can occur in ``column``."""
+        return column.is_numeric
+
+    def corrupt(
+        self, column: Column, rows: np.ndarray, rng: np.random.Generator
+    ) -> list:
+        """Corrupted replacement values for ``column`` at ``rows``."""
+        present = column.values[~column.missing_mask]
+        present = present[np.isfinite(present)]
+        spread = float(present.std()) if present.size > 1 else 1.0
+        if spread == 0.0:
+            spread = 1.0
+        sigma = rng.uniform(self.sigma_min, self.sigma_max) * spread
+        base = column.values[rows].copy()
+        # Noise lands on whatever is currently in the cell; missing cells
+        # get noise around the column mean so the result is a real number.
+        mean = float(present.mean()) if present.size else 0.0
+        base[~np.isfinite(base)] = mean
+        return (base + rng.normal(0.0, sigma, size=len(rows))).tolist()

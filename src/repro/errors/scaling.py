@@ -1,0 +1,45 @@
+"""Scaling errors (§3.4): unit-conversion mistakes on numeric cells."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors.base import ErrorType, register_error
+from repro.frame import Column
+
+__all__ = ["Scaling"]
+
+
+@register_error
+class Scaling(ErrorType):
+    """Multiply selected numeric cells by 10, 100, or 1000.
+
+    Emulates incorrect unit conversions (e.g. cm recorded as m); the factor
+    is drawn uniformly from ``factors`` per pollution action, as in the
+    paper.
+    """
+
+    name = "scaling"
+
+    def __init__(self, factors: tuple = (10.0, 100.0, 1000.0)) -> None:
+        if not factors or any(f <= 0 for f in factors):
+            raise ValueError("factors must be positive and non-empty")
+        self.factors = tuple(factors)
+
+    def applies_to(self, column: Column) -> bool:
+        """Whether this error type can occur in ``column``."""
+        return column.is_numeric
+
+    def corrupt(
+        self, column: Column, rows: np.ndarray, rng: np.random.Generator
+    ) -> list:
+        """Corrupted replacement values for ``column`` at ``rows``."""
+        factor = self.factors[rng.integers(len(self.factors))]
+        base = column.values[rows].copy()
+        present = column.values[~column.missing_mask]
+        present = present[np.isfinite(present)]
+        mean = float(present.mean()) if present.size else 1.0
+        # A missing cell has no magnitude to scale; fall back to a scaled
+        # column mean so the injected value is still anomalous.
+        base[~np.isfinite(base)] = mean
+        return (base * factor).tolist()

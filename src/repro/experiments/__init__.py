@@ -1,0 +1,40 @@
+"""Experiment harness: configurations, method runners, curve comparisons,
+aggregation, and plain-text reporting for every table and figure in §5."""
+
+from repro.experiments.aggregate import (
+    advantage_by_algorithm,
+    advantage_by_error_type,
+    estimator_mae,
+    first_iteration_runtime,
+)
+from repro.experiments.comparison import (
+    average_curve,
+    f1_advantage,
+    f1_advantage_curves,
+)
+from repro.experiments.reporting import ascii_plot, format_series, format_table
+from repro.experiments.runner import (
+    METHOD_NAMES,
+    Configuration,
+    build_polluted,
+    run_configuration,
+    run_method,
+)
+
+__all__ = [
+    "Configuration",
+    "METHOD_NAMES",
+    "build_polluted",
+    "run_method",
+    "run_configuration",
+    "average_curve",
+    "f1_advantage",
+    "f1_advantage_curves",
+    "advantage_by_algorithm",
+    "advantage_by_error_type",
+    "estimator_mae",
+    "first_iteration_runtime",
+    "format_table",
+    "format_series",
+    "ascii_plot",
+]

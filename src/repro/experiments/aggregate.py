@@ -1,0 +1,92 @@
+"""Aggregated views: Figures 10 (overall advantage), 11 (Estimator MAE),
+and 12 (recommendation runtime)."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core import Comet
+from repro.core.trace import CleaningTrace
+from repro.experiments.comparison import f1_advantage
+from repro.experiments.runner import Configuration, build_polluted
+
+__all__ = [
+    "advantage_by_algorithm",
+    "advantage_by_error_type",
+    "estimator_mae",
+    "first_iteration_runtime",
+]
+
+
+def _mean_advantage(
+    comet: list[CleaningTrace], baseline: list[CleaningTrace], budget: float
+) -> float:
+    grid = np.arange(1.0, budget + 1.0)
+    return float(np.mean(f1_advantage(comet, baseline, grid)))
+
+
+def advantage_by_algorithm(
+    results_by_run: list[dict],
+) -> dict[str, float]:
+    """Figure 10a: mean F1 advantage of COMET grouped by ML algorithm.
+
+    ``results_by_run`` entries are dicts with keys ``algorithm``,
+    ``budget``, ``comet`` (traces), and ``baselines`` (method → traces).
+    """
+    buckets: dict[str, list[float]] = {}
+    for run in results_by_run:
+        for traces in run["baselines"].values():
+            buckets.setdefault(run["algorithm"], []).append(
+                _mean_advantage(run["comet"], traces, run["budget"])
+            )
+    return {alg: float(np.mean(vals)) for alg, vals in sorted(buckets.items())}
+
+
+def advantage_by_error_type(
+    results_by_run: list[dict],
+) -> dict[str, float]:
+    """Figure 10b: mean advantage grouped by error type (single-error runs)."""
+    buckets: dict[str, list[float]] = {}
+    for run in results_by_run:
+        error = run["error_type"]
+        for traces in run["baselines"].values():
+            buckets.setdefault(error, []).append(
+                _mean_advantage(run["comet"], traces, run["budget"])
+            )
+    return {err: float(np.mean(vals)) for err, vals in sorted(buckets.items())}
+
+
+def estimator_mae(traces: list[CleaningTrace]) -> float:
+    """Figure 11: MAE between predicted and realized post-cleaning F1."""
+    errors: list[float] = []
+    for trace in traces:
+        errors.extend(trace.prediction_errors())
+    if not errors:
+        return float("nan")
+    return float(np.mean(errors))
+
+
+def first_iteration_runtime(
+    config: Configuration, seed: int = 0, rng: int = 0
+) -> float:
+    """Figure 12: wall-clock seconds of COMET's first recommendation.
+
+    The first iteration is the most expensive one — every candidate is
+    still open, so the Polluter/Estimator sweep covers the full feature
+    set, exactly the moment the paper measures.
+    """
+    polluted = build_polluted(config, seed=seed)
+    comet = Comet(
+        polluted,
+        algorithm=config.algorithm,
+        error_types=list(config.error_types),
+        budget=config.budget,
+        cost_model=config.make_cost_model(),
+        config=config.make_comet_config(),
+        rng=rng,
+    )
+    start = time.perf_counter()
+    comet.step()
+    return time.perf_counter() - start

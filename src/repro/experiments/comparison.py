@@ -1,0 +1,50 @@
+"""F1-advantage curves: the quantity every §5 comparison figure plots.
+
+For each cleaning step (budget point) the F1 difference between COMET and a
+baseline is computed per pre-pollution setting, then averaged across
+settings. A positive advantage means COMET outperforms the baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.trace import CleaningTrace
+
+__all__ = ["average_curve", "f1_advantage", "f1_advantage_curves"]
+
+
+def average_curve(
+    traces: list[CleaningTrace], budget_grid: np.ndarray | list
+) -> np.ndarray:
+    """Mean F1-over-budget step function across traces."""
+    if not traces:
+        raise ValueError("need at least one trace")
+    grid = np.asarray(budget_grid, dtype=float)
+    return np.mean([t.f1_at(grid) for t in traces], axis=0)
+
+
+def f1_advantage(
+    comet_traces: list[CleaningTrace],
+    baseline_traces: list[CleaningTrace],
+    budget_grid: np.ndarray | list,
+) -> np.ndarray:
+    """COMET-minus-baseline F1 per budget point, averaged over settings."""
+    grid = np.asarray(budget_grid, dtype=float)
+    return average_curve(comet_traces, grid) - average_curve(baseline_traces, grid)
+
+
+def f1_advantage_curves(
+    results: dict[str, list[CleaningTrace]],
+    budget_grid: np.ndarray | list,
+    reference: str = "comet",
+) -> dict[str, np.ndarray]:
+    """Advantage of ``reference`` over every other method in ``results``."""
+    if reference not in results:
+        raise ValueError(f"reference method {reference!r} not in results")
+    grid = np.asarray(budget_grid, dtype=float)
+    return {
+        method: f1_advantage(results[reference], traces, grid)
+        for method, traces in results.items()
+        if method != reference
+    }

@@ -1,0 +1,204 @@
+"""Programmatic regeneration of the paper's figures.
+
+The benchmark suite under ``benchmarks/`` drives these functions; they are
+exposed as a library API so downstream users can regenerate any figure at
+their own scale::
+
+    from repro.experiments.figures import figure3
+    lines, curves = figure3("cmc", n_rows=400, budget=30.0)
+
+Every function returns ``(lines, data)``: formatted text series plus the
+raw curves/values for further analysis. Sizes default to laptop scale;
+pass Table 1 row counts and ``budget=50`` for paper-scale runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.aggregate import (
+    advantage_by_algorithm,
+    advantage_by_error_type,
+    estimator_mae,
+    first_iteration_runtime,
+)
+from repro.experiments.comparison import f1_advantage_curves
+from repro.experiments.reporting import format_series
+from repro.experiments.runner import Configuration, run_configuration
+
+__all__ = [
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+    "figure12",
+]
+
+_ALL_ERRORS = ("categorical", "noise", "missing", "scaling")
+
+
+def _applicable_errors(dataset: str) -> tuple[str, ...]:
+    if dataset == "eeg":
+        return tuple(e for e in _ALL_ERRORS if e != "categorical")
+    return _ALL_ERRORS
+
+
+def _comparison(
+    dataset: str,
+    algorithm: str,
+    error_types,
+    methods,
+    cost_model: str = "uniform",
+    cleanml: bool = False,
+    n_rows: int = 240,
+    budget: float = 16.0,
+    step: float = 0.02,
+    n_settings: int = 1,
+    seed: int = 0,
+):
+    config = Configuration(
+        dataset=dataset,
+        algorithm=algorithm,
+        error_types=tuple(error_types),
+        n_rows=n_rows,
+        budget=budget,
+        step=step,
+        cost_model=cost_model,
+        cleanml=cleanml,
+        rr_repeats=2,
+    )
+    results = run_configuration(
+        config, methods=("comet", *methods), n_settings=n_settings, seed=seed
+    )
+    grid = np.arange(0.0, budget + 1.0)
+    curves = f1_advantage_curves(results, grid)
+    lines = [
+        format_series(f"{dataset}/{algorithm} vs {m.upper()}", grid, c)
+        for m, c in curves.items()
+    ]
+    return lines, curves
+
+
+def figure3(dataset: str = "cmc", **kwargs):
+    """COMET vs FIR/RR/CL, SVM, multi-error + diverse costs."""
+    return _comparison(
+        dataset, "svm", _applicable_errors(dataset),
+        methods=("fir", "rr", "cl"), cost_model="paper", **kwargs,
+    )
+
+
+def figure4(dataset: str = "cmc", **kwargs):
+    """COMET vs ActiveClean, LIR, multi-error + diverse costs."""
+    return _comparison(
+        dataset, "lir", _applicable_errors(dataset),
+        methods=("ac",), cost_model="paper", **kwargs,
+    )
+
+
+def figure5(dataset: str = "cmc", error: str = "missing", **kwargs):
+    """COMET vs FIR/RR/CL, MLP, one error type, constant costs."""
+    return _comparison(dataset, "mlp", (error,), methods=("fir", "rr", "cl"), **kwargs)
+
+
+def figure6(dataset: str = "titanic", error: str = "missing", **kwargs):
+    """Figure 5 on a CleanML dirty/clean pair."""
+    return _comparison(
+        dataset, "mlp", (error,), methods=("fir", "rr", "cl"), cleanml=True, **kwargs
+    )
+
+
+def figure8(dataset: str = "cmc", error: str = "missing", **kwargs):
+    """COMET vs ActiveClean, AC-SVM, one error type."""
+    return _comparison(dataset, "ac_svm", (error,), methods=("ac",), **kwargs)
+
+
+def figure9(dataset: str = "titanic", error: str = "missing", **kwargs):
+    """Figure 8 on a CleanML dirty/clean pair."""
+    return _comparison(
+        dataset, "ac_svm", (error,), methods=("ac",), cleanml=True, **kwargs
+    )
+
+
+def figure10(
+    dataset: str = "cmc",
+    n_rows: int = 200,
+    budget: float = 8.0,
+    step: float = 0.02,
+    seed: int = 0,
+):
+    """Overall advantage grouped by algorithm (a) and error type (b)."""
+    runs_a, runs_b = [], []
+    for algorithm in ("gb", "knn", "mlp", "svm"):
+        config = Configuration(dataset, algorithm, ("missing",), n_rows=n_rows,
+                               budget=budget, step=step, rr_repeats=2)
+        results = run_configuration(config, methods=("comet", "fir", "rr", "cl"),
+                                    n_settings=1, seed=seed)
+        runs_a.append({"algorithm": algorithm, "error_type": "missing",
+                       "budget": budget, "comet": results["comet"],
+                       "baselines": {m: results[m] for m in ("fir", "rr", "cl")}})
+    for algorithm in ("ac_svm", "lir", "lor"):
+        config = Configuration(dataset, algorithm, ("missing",), n_rows=n_rows,
+                               budget=budget, step=step, rr_repeats=2)
+        results = run_configuration(config, methods=("comet", "ac"),
+                                    n_settings=1, seed=seed)
+        runs_a.append({"algorithm": algorithm, "error_type": "missing",
+                       "budget": budget, "comet": results["comet"],
+                       "baselines": {"ac": results["ac"]}})
+    for error in _applicable_errors(dataset):
+        config = Configuration(dataset, "svm", (error,), n_rows=n_rows,
+                               budget=budget, step=step, rr_repeats=2)
+        results = run_configuration(config, methods=("comet", "fir", "rr", "cl"),
+                                    n_settings=1, seed=seed + 1)
+        runs_b.append({"algorithm": "svm", "error_type": error,
+                       "budget": budget, "comet": results["comet"],
+                       "baselines": {m: results[m] for m in ("fir", "rr", "cl")}})
+    by_algorithm = advantage_by_algorithm(runs_a)
+    by_error = advantage_by_error_type(runs_b)
+    lines = ["(a) grouped by ML algorithm"]
+    lines += [f"  {a:8s} {v:+.4f}" for a, v in by_algorithm.items()]
+    lines += ["(b) grouped by error type"]
+    lines += [f"  {e:12s} {v:+.4f}" for e, v in by_error.items()]
+    return lines, {"by_algorithm": by_algorithm, "by_error": by_error}
+
+
+def figure11(
+    grid=(("missing", "svm"), ("missing", "knn"), ("noise", "svm"),
+          ("categorical", "svm"), ("scaling", "svm")),
+    dataset: str = "cmc",
+    n_rows: int = 200,
+    budget: float = 8.0,
+    step: float = 0.02,
+    seed: int = 0,
+):
+    """Estimator MAE per (error type, algorithm)."""
+    cells = []
+    for error, algorithm in grid:
+        config = Configuration(dataset, algorithm, (error,), n_rows=n_rows,
+                               budget=budget, step=step)
+        results = run_configuration(config, methods=("comet",), n_settings=1, seed=seed)
+        cells.append((error, algorithm, estimator_mae(results["comet"])))
+    lines = [f"{e:12s} {a:6s} MAE={m:.4f}" for e, a, m in cells]
+    return lines, cells
+
+
+def figure12(
+    algorithms=("gb", "knn", "mlp", "svm", "lir", "lor"),
+    errors=_ALL_ERRORS,
+    dataset: str = "cmc",
+    n_rows: int = 200,
+    step: float = 0.02,
+    seed: int = 0,
+):
+    """First-iteration recommendation runtime per algorithm × error type."""
+    cells = {}
+    for algorithm in algorithms:
+        for error in errors:
+            config = Configuration(dataset, algorithm, (error,), n_rows=n_rows,
+                                   budget=2.0, step=step)
+            cells[(algorithm, error)] = first_iteration_runtime(config, seed=seed)
+    lines = [f"{a:6s} {e:12s} {s:8.3f}s" for (a, e), s in cells.items()]
+    return lines, cells

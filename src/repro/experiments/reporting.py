@@ -1,0 +1,96 @@
+"""Plain-text reporting: the rows and series the paper's tables/figures show."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "format_series", "ascii_plot"]
+
+
+def format_table(rows: Iterable[Mapping], columns: Sequence[str] | None = None) -> str:
+    """Render dict rows as an aligned text table with a header."""
+    rows = list(rows)
+    if not rows:
+        return "(empty table)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    cells = [[_fmt(row.get(c, "")) for c in columns] for row in rows]
+    widths = [
+        max(len(str(c)), *(len(r[i]) for r in cells)) for i, c in enumerate(columns)
+    ]
+    header = "  ".join(str(c).ljust(w) for c, w in zip(columns, widths))
+    rule = "  ".join("-" * w for w in widths)
+    body = "\n".join("  ".join(r[i].ljust(widths[i]) for i in range(len(columns))) for r in cells)
+    return f"{header}\n{rule}\n{body}"
+
+
+def format_series(
+    name: str,
+    grid: np.ndarray | Sequence[float],
+    values: np.ndarray | Sequence[float],
+    every: int = 5,
+) -> str:
+    """Render a (budget → value) series, sampling every ``every``-th point."""
+    grid = np.asarray(grid, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if grid.shape != values.shape:
+        raise ValueError(f"grid and values disagree: {grid.shape} vs {values.shape}")
+    idx = list(range(0, len(grid), max(1, every)))
+    if idx[-1] != len(grid) - 1:
+        idx.append(len(grid) - 1)
+    points = "  ".join(f"{grid[i]:g}:{values[i]:+.3f}" for i in idx)
+    return f"{name:<28s} {points}"
+
+
+def ascii_plot(
+    curves: Mapping[str, np.ndarray | Sequence[float]],
+    grid: np.ndarray | Sequence[float] | None = None,
+    height: int = 12,
+    width: int = 60,
+) -> str:
+    """Render one or more (budget → value) curves as a text chart.
+
+    Each curve gets a marker character; overlapping points show the later
+    curve's marker. Used by the examples and the CLI to show F1-per-budget
+    plots without matplotlib.
+    """
+    if not curves:
+        raise ValueError("need at least one curve")
+    markers = "*+ox#@%&"
+    series = {name: np.asarray(v, dtype=float) for name, v in curves.items()}
+    lengths = {len(v) for v in series.values()}
+    if len(lengths) != 1:
+        raise ValueError("all curves must have the same length")
+    n = lengths.pop()
+    if n < 2:
+        raise ValueError("curves need at least two points")
+    grid = np.arange(n, dtype=float) if grid is None else np.asarray(grid, dtype=float)
+    lo = min(float(v.min()) for v in series.values())
+    hi = max(float(v.max()) for v in series.values())
+    if hi - lo < 1e-12:
+        hi = lo + 1e-12
+    canvas = [[" "] * width for __ in range(height)]
+    for idx, (name, values) in enumerate(series.items()):
+        marker = markers[idx % len(markers)]
+        for j in range(n):
+            col = int(round((j / (n - 1)) * (width - 1)))
+            row = int(round((1.0 - (values[j] - lo) / (hi - lo)) * (height - 1)))
+            canvas[row][col] = marker
+    lines = [f"{hi:8.3f} |" + "".join(canvas[0])]
+    lines += ["         |" + "".join(row) for row in canvas[1:-1]]
+    lines.append(f"{lo:8.3f} |" + "".join(canvas[-1]))
+    lines.append("         +" + "-" * width)
+    lines.append(f"          {grid[0]:<10g}{'budget':^{max(0, width - 20)}}{grid[-1]:>10g}")
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(f"          {legend}")
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)

@@ -1,0 +1,10 @@
+"""Model explanation: sampled Shapley feature importance.
+
+The FIR baseline (§4.5) ranks features by Shapley values computed on the
+dirty input data; this subpackage provides that computation without the
+external ``shap`` dependency.
+"""
+
+from repro.explain.shapley import rank_features_by_importance, shapley_values
+
+__all__ = ["shapley_values", "rank_features_by_importance"]

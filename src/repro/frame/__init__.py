@@ -1,0 +1,13 @@
+"""A minimal typed column-store dataframe.
+
+The environment that hosts this reproduction does not ship pandas, so this
+subpackage provides the small slice of dataframe functionality that COMET
+needs: typed columns (numeric and categorical) with missing-value masks,
+row/column selection, copying, and CSV round-tripping.
+"""
+
+from repro.frame.column import Column, ColumnKind
+from repro.frame.dataframe import DataFrame
+from repro.frame.io import read_csv, write_csv
+
+__all__ = ["Column", "ColumnKind", "DataFrame", "read_csv", "write_csv"]

@@ -1,0 +1,179 @@
+"""Typed columns with explicit missing-value masks."""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["ColumnKind", "Column"]
+
+
+class ColumnKind(enum.Enum):
+    """The two column types COMET distinguishes.
+
+    The paper's error types are kind-specific: Gaussian noise and scaling
+    apply to numeric columns, categorical shift applies to categorical
+    columns, and missing values apply to both.
+    """
+
+    NUMERIC = "numeric"
+    CATEGORICAL = "categorical"
+
+
+class Column:
+    """A single dataframe column: values plus a missing mask.
+
+    Numeric columns store ``float64`` values; missing cells additionally hold
+    ``nan`` so that downstream numeric code never reads a stale value.
+    Categorical columns store object values (typically strings); missing
+    cells hold ``None``.
+
+    Parameters
+    ----------
+    name:
+        Column name, unique within a :class:`~repro.frame.DataFrame`.
+    values:
+        Cell values. ``nan``/``None`` entries are recorded as missing.
+    kind:
+        Explicit kind; inferred from the values' dtype when omitted.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        values: Iterable,
+        kind: ColumnKind | None = None,
+    ) -> None:
+        self.name = name
+        raw = np.asarray(list(values) if not isinstance(values, np.ndarray) else values)
+        if kind is None:
+            kind = _infer_kind(raw)
+        self.kind = kind
+        if kind is ColumnKind.NUMERIC:
+            self._values = raw.astype(float)
+            self._missing = np.isnan(self._values)
+        else:
+            self._values = raw.astype(object)
+            self._missing = np.array([_is_missing_value(v) for v in self._values], dtype=bool)
+            self._values[self._missing] = None
+
+    # ------------------------------------------------------------------ #
+    # basic protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __repr__(self) -> str:
+        return f"Column({self.name!r}, kind={self.kind.value}, n={len(self)}, missing={int(self.n_missing)})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Column):
+            return NotImplemented
+        if self.name != other.name or self.kind != other.kind or len(self) != len(other):
+            return False
+        if not np.array_equal(self._missing, other._missing):
+            return False
+        present = ~self._missing
+        if self.kind is ColumnKind.NUMERIC:
+            return bool(np.allclose(self._values[present], other._values[present]))
+        return bool(np.array_equal(self._values[present], other._values[present]))
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def values(self) -> np.ndarray:
+        """The raw value array (read it, do not mutate it in place)."""
+        return self._values
+
+    @property
+    def missing_mask(self) -> np.ndarray:
+        """Boolean mask of missing cells."""
+        return self._missing
+
+    @property
+    def n_missing(self) -> int:
+        """Number of missing cells."""
+        return int(self._missing.sum())
+
+    @property
+    def is_numeric(self) -> bool:
+        """True for numeric columns."""
+        return self.kind is ColumnKind.NUMERIC
+
+    @property
+    def is_categorical(self) -> bool:
+        """True for categorical columns."""
+        return self.kind is ColumnKind.CATEGORICAL
+
+    def categories(self) -> list:
+        """Sorted distinct non-missing values (categorical convenience)."""
+        present = self._values[~self._missing]
+        return sorted(set(present.tolist()), key=str)
+
+    def take(self, indices: Sequence[int] | np.ndarray) -> "Column":
+        """Return a new column containing the given rows, in order."""
+        idx = np.asarray(indices)
+        out = Column.__new__(Column)
+        out.name = self.name
+        out.kind = self.kind
+        out._values = self._values[idx].copy()
+        out._missing = self._missing[idx].copy()
+        return out
+
+    def copy(self) -> "Column":
+        """Deep copy (independent of the original)."""
+        return self.take(np.arange(len(self)))
+
+    # ------------------------------------------------------------------ #
+    # mutation (used by the Polluter and the Cleaner)
+    # ------------------------------------------------------------------ #
+    def set_values(self, indices: Sequence[int] | np.ndarray, values: Iterable) -> None:
+        """Overwrite cells at ``indices`` with ``values``.
+
+        ``nan``/``None`` values mark the cells as missing; any other value
+        clears the missing flag.
+        """
+        idx = np.asarray(indices)
+        vals = list(values) if not isinstance(values, np.ndarray) else values
+        if len(idx) != len(vals):
+            raise ValueError(
+                f"got {len(idx)} indices but {len(vals)} values for column {self.name!r}"
+            )
+        if self.kind is ColumnKind.NUMERIC:
+            arr = np.asarray(vals, dtype=float)
+            self._values[idx] = arr
+            self._missing[idx] = np.isnan(arr)
+        else:
+            for i, v in zip(idx, vals):
+                if _is_missing_value(v):
+                    self._values[i] = None
+                    self._missing[i] = True
+                else:
+                    self._values[i] = v
+                    self._missing[i] = False
+
+    def set_missing(self, indices: Sequence[int] | np.ndarray) -> None:
+        """Mark the cells at ``indices`` as missing."""
+        idx = np.asarray(indices)
+        if self.kind is ColumnKind.NUMERIC:
+            self._values[idx] = np.nan
+        else:
+            self._values[idx] = None
+        self._missing[idx] = True
+
+
+def _infer_kind(values: np.ndarray) -> ColumnKind:
+    if values.dtype.kind in "fiub":
+        return ColumnKind.NUMERIC
+    return ColumnKind.CATEGORICAL
+
+
+def _is_missing_value(value) -> bool:
+    if value is None:
+        return True
+    if isinstance(value, float) and np.isnan(value):
+        return True
+    return False

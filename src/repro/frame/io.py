@@ -1,0 +1,68 @@
+"""CSV round-tripping for :class:`~repro.frame.DataFrame`.
+
+The reader infers column kinds: a column whose non-empty cells all parse as
+floats becomes numeric, everything else categorical. Empty cells and the
+literal markers ``NA``/``NaN``/``null`` are read as missing.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.frame.column import Column, ColumnKind
+from repro.frame.dataframe import DataFrame
+
+__all__ = ["read_csv", "write_csv"]
+
+_MISSING_MARKERS = {"", "na", "nan", "null", "none"}
+
+
+def read_csv(path: str | Path) -> DataFrame:
+    """Read a CSV file with a header row into a :class:`DataFrame`."""
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path}: empty CSV file") from None
+        rows = list(reader)
+    if not rows:
+        raise ValueError(f"{path}: CSV file has a header but no rows")
+    columns = []
+    for j, name in enumerate(header):
+        cells = [row[j] for row in rows]
+        columns.append(_parse_column(name, cells))
+    return DataFrame(columns)
+
+
+def write_csv(frame: DataFrame, path: str | Path) -> None:
+    """Write ``frame`` to ``path``; missing cells become empty strings."""
+    data = frame.to_dict()
+    names = frame.column_names
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(names)
+        for i in range(frame.n_rows):
+            writer.writerow(["" if data[n][i] is None else data[n][i] for n in names])
+
+
+def _parse_column(name: str, cells: list[str]) -> Column:
+    parsed: list[float | None] = []
+    numeric = True
+    for cell in cells:
+        if cell.strip().lower() in _MISSING_MARKERS:
+            parsed.append(None)
+            continue
+        try:
+            parsed.append(float(cell))
+        except ValueError:
+            numeric = False
+            break
+    if numeric and any(v is not None for v in parsed):
+        values = np.array([np.nan if v is None else v for v in parsed], dtype=float)
+        return Column(name, values, kind=ColumnKind.NUMERIC)
+    values = [None if cell.strip().lower() in _MISSING_MARKERS else cell for cell in cells]
+    return Column(name, np.array(values, dtype=object), kind=ColumnKind.CATEGORICAL)

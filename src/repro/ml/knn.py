@@ -1,0 +1,56 @@
+"""Brute-force k-nearest-neighbors classification."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, check_X, check_X_y
+
+__all__ = ["KNeighborsClassifier"]
+
+
+class KNeighborsClassifier(BaseEstimator):
+    """Euclidean k-NN with majority voting (ties broken by class order).
+
+    Parameters
+    ----------
+    n_neighbors:
+        Number of neighbors consulted per query row (clamped to the
+        training-set size at predict time).
+    """
+
+    def __init__(self, n_neighbors: int = 5) -> None:
+        if n_neighbors < 1:
+            raise ValueError("n_neighbors must be >= 1")
+        self.n_neighbors = n_neighbors
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KNeighborsClassifier":
+        """Fit on the given training data and return ``self``."""
+        X, y = check_X_y(X, y)
+        self.X_ = X
+        self.y_ = y
+        self.classes_ = np.unique(y)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict labels (or values) for the given input."""
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Class-probability estimates; rows sum to one."""
+        X = check_X(X)
+        k = min(self.n_neighbors, len(self.X_))
+        lookup = {c: i for i, c in enumerate(self.classes_.tolist())}
+        votes = np.zeros((len(X), len(self.classes_)))
+        # Chunk queries so the pairwise distance matrix stays small.
+        chunk = max(1, 2_000_000 // max(1, len(self.X_)))
+        train_sq = np.sum(self.X_**2, axis=1)
+        for start in range(0, len(X), chunk):
+            q = X[start : start + chunk]
+            d2 = np.sum(q**2, axis=1)[:, None] - 2.0 * q @ self.X_.T + train_sq[None, :]
+            neighbor_idx = np.argpartition(d2, kth=k - 1, axis=1)[:, :k]
+            for row, idx in enumerate(neighbor_idx):
+                for label in self.y_[idx].tolist():
+                    votes[start + row, lookup[label]] += 1.0
+        return votes / votes.sum(axis=1, keepdims=True)

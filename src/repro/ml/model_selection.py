@@ -1,0 +1,153 @@
+"""Train/test splitting, cross-validation folds, and random search.
+
+The paper performs a 10-sample random hyperparameter optimization per
+configuration and pre-pollution setting (§4.4); :class:`RandomSearch`
+reproduces that protocol with an explicit seed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, clone
+
+__all__ = ["train_test_split", "KFold", "RandomSearch"]
+
+
+def train_test_split(
+    n_rows: int,
+    test_size: float = 0.2,
+    rng: np.random.Generator | int | None = None,
+    stratify: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return (train_indices, test_indices) for a dataset of ``n_rows``.
+
+    With ``stratify`` given (an int label vector), each class contributes
+    proportionally to the test set, which keeps F1 stable on the imbalanced
+    datasets (Churn, Credit).
+    """
+    if not 0.0 < test_size < 1.0:
+        raise ValueError(f"test_size must be in (0, 1), got {test_size}")
+    if n_rows < 2:
+        raise ValueError("need at least two rows to split")
+    rng = np.random.default_rng(rng)
+    if stratify is None:
+        order = rng.permutation(n_rows)
+        n_test = max(1, int(round(n_rows * test_size)))
+        return np.sort(order[n_test:]), np.sort(order[:n_test])
+    stratify = np.asarray(stratify)
+    if len(stratify) != n_rows:
+        raise ValueError("stratify vector length must equal n_rows")
+    test_parts = []
+    for cls in np.unique(stratify):
+        members = np.flatnonzero(stratify == cls)
+        members = rng.permutation(members)
+        n_test = max(1, int(round(len(members) * test_size)))
+        test_parts.append(members[:n_test])
+    test_idx = np.sort(np.concatenate(test_parts))
+    mask = np.ones(n_rows, dtype=bool)
+    mask[test_idx] = False
+    return np.flatnonzero(mask), test_idx
+
+
+class KFold:
+    """Shuffled k-fold index generator."""
+
+    def __init__(self, n_splits: int = 5, rng: np.random.Generator | int | None = None) -> None:
+        if n_splits < 2:
+            raise ValueError("n_splits must be >= 2")
+        self.n_splits = n_splits
+        self._rng = np.random.default_rng(rng)
+
+    def split(self, n_rows: int) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield (train_indices, test_indices) per fold."""
+        if n_rows < self.n_splits:
+            raise ValueError(f"cannot split {n_rows} rows into {self.n_splits} folds")
+        order = self._rng.permutation(n_rows)
+        folds = np.array_split(order, self.n_splits)
+        for i in range(self.n_splits):
+            test = np.sort(folds[i])
+            train = np.sort(np.concatenate([f for j, f in enumerate(folds) if j != i]))
+            yield train, test
+
+
+class RandomSearch:
+    """Random hyperparameter search with a holdout validation split.
+
+    Parameters
+    ----------
+    estimator:
+        Template estimator; each candidate is a :func:`clone` with sampled
+        parameters.
+    param_distributions:
+        Mapping of parameter name → list of candidate values (sampled
+        uniformly) or a callable ``rng -> value``.
+    n_iter:
+        Number of sampled candidates (the paper uses 10).
+    scorer:
+        ``scorer(estimator, X, y) -> float``; higher is better.
+    """
+
+    def __init__(
+        self,
+        estimator: BaseEstimator,
+        param_distributions: Mapping[str, Sequence | Callable],
+        n_iter: int = 10,
+        scorer: Callable | None = None,
+        validation_size: float = 0.25,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if n_iter < 1:
+            raise ValueError("n_iter must be >= 1")
+        self.estimator = estimator
+        self.param_distributions = dict(param_distributions)
+        self.n_iter = n_iter
+        self.scorer = scorer or _default_scorer
+        self.validation_size = validation_size
+        self._rng = np.random.default_rng(rng)
+        self.best_params_: dict | None = None
+        self.best_score_: float = -np.inf
+        self.best_estimator_: BaseEstimator | None = None
+
+    def _sample_params(self) -> dict:
+        params = {}
+        for name, dist in self.param_distributions.items():
+            if callable(dist):
+                params[name] = dist(self._rng)
+            else:
+                params[name] = dist[self._rng.integers(len(dist))]
+        return params
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomSearch":
+        """Evaluate candidates on a holdout split, refit the winner on all data."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y)
+        train_idx, val_idx = train_test_split(
+            len(X), test_size=self.validation_size, rng=self._rng, stratify=y
+        )
+        seen: set[tuple] = set()
+        for __ in range(self.n_iter):
+            params = self._sample_params()
+            key = tuple(sorted((k, repr(v)) for k, v in params.items()))
+            if key in seen:
+                continue
+            seen.add(key)
+            candidate = clone(self.estimator).set_params(**params)
+            candidate.fit(X[train_idx], y[train_idx])
+            score = self.scorer(candidate, X[val_idx], y[val_idx])
+            if score > self.best_score_:
+                self.best_score_ = score
+                self.best_params_ = params
+        if self.best_params_ is None:
+            self.best_params_ = {}
+        self.best_estimator_ = clone(self.estimator).set_params(**self.best_params_)
+        self.best_estimator_.fit(X, y)
+        return self
+
+
+def _default_scorer(estimator: BaseEstimator, X: np.ndarray, y: np.ndarray) -> float:
+    from repro.ml.metrics import f1_score
+
+    return f1_score(y, estimator.predict(X))

@@ -1,0 +1,94 @@
+"""End-to-end tabular model: preprocessing + classifier behind one call.
+
+COMET repeatedly evaluates "train on this (possibly polluted) frame, score
+F1 on that frame"; :class:`TabularModel` packages that loop body.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.frame import DataFrame
+from repro.ml.base import BaseEstimator, clone
+from repro.ml.metrics import f1_score, r2_score
+from repro.ml.preprocessing import TabularPreprocessor
+
+__all__ = ["TabularModel"]
+
+
+class TabularModel:
+    """Fit a model on a :class:`DataFrame` and score another.
+
+    Parameters
+    ----------
+    estimator:
+        Unfitted estimator template (cloned on every ``fit``).
+    label:
+        Name of the label column.
+    feature_names:
+        Feature columns; defaults to all non-label columns of the frame
+        passed to ``fit``.
+    task:
+        ``"classification"`` (F1 score, integer-encoded labels — the
+        paper's setting) or ``"regression"`` (R², raw float targets — the
+        §6 extension).
+    """
+
+    def __init__(
+        self,
+        estimator: BaseEstimator,
+        label: str,
+        feature_names: list[str] | None = None,
+        task: str = "classification",
+    ) -> None:
+        if task not in ("classification", "regression"):
+            raise ValueError(f"unknown task {task!r}")
+        self.estimator = estimator
+        self.label = label
+        self.feature_names = feature_names
+        self.task = task
+
+    def _targets(self, frame: DataFrame) -> np.ndarray:
+        if self.task == "classification":
+            return frame.label_array(self.label)
+        column = frame[self.label]
+        if not column.is_numeric:
+            raise ValueError(f"regression label {self.label!r} must be numeric")
+        if column.n_missing:
+            raise ValueError(f"label column {self.label!r} contains missing values")
+        return column.values.astype(float)
+
+    def fit(self, frame: DataFrame) -> "TabularModel":
+        """Fit on the given training data and return ``self``."""
+        features = self.feature_names or [
+            n for n in frame.column_names if n != self.label
+        ]
+        self.features_ = list(features)
+        self.preprocessor_ = TabularPreprocessor(self.features_).fit(frame)
+        X = self.preprocessor_.transform(frame)
+        y = self._targets(frame)
+        self.model_ = clone(self.estimator)
+        self.model_.fit(X, y)
+        return self
+
+    def predict(self, frame: DataFrame) -> np.ndarray:
+        """Predict labels (or values) for the given input."""
+        X = self.preprocessor_.transform(frame)
+        return self.model_.predict(X)
+
+    def score(self, frame: DataFrame) -> float:
+        """Task metric on ``frame``: F1 (classification) or R² (regression)."""
+        y_true = self._targets(frame)
+        if self.task == "classification":
+            return f1_score(y_true, self.predict(frame))
+        return r2_score(y_true, self.predict(frame))
+
+    def score_f1(self, frame: DataFrame) -> float:
+        """Macro/binary F1 of the fitted model on ``frame``."""
+        y_true = frame.label_array(self.label)
+        return f1_score(y_true, self.predict(frame))
+
+    def fit_score(self, train: DataFrame, test: DataFrame) -> float:
+        """Train on ``train``, return the task metric on ``test``
+        (the COMET loop body)."""
+        return self.fit(train).score(test)

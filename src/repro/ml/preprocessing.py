@@ -1,0 +1,170 @@
+"""Tabular preprocessing: imputation, scaling, one-hot encoding.
+
+The Polluter injects missing values and the learners require finite
+matrices, so the preprocessing stage is where dirty cells become model
+inputs: numeric missing cells are mean-imputed (the train mean), while
+categorical missing cells become an explicit ``<missing>`` category —
+mirroring how placeholder values behave in the paper's pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.frame import Column, DataFrame
+
+__all__ = ["StandardScaler", "OneHotEncoder", "TabularPreprocessor"]
+
+
+class StandardScaler:
+    """Zero-mean unit-variance scaling; constant columns stay at zero."""
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        """Fit on the given training data and return ``self``."""
+        X = np.asarray(X, dtype=float)
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        std[std == 0.0] = 1.0
+        self.scale_ = std
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Transform the input using the fitted state."""
+        X = np.asarray(X, dtype=float)
+        if X.shape[1] != self.mean_.shape[0]:
+            raise ValueError(
+                f"fitted on {self.mean_.shape[0]} columns, got {X.shape[1]}"
+            )
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        """Fit and transform in one call."""
+        return self.fit(X).transform(X)
+
+
+class OneHotEncoder:
+    """One-hot encoding of object columns; unseen categories encode to zeros."""
+
+    def fit(self, columns: list[np.ndarray]) -> "OneHotEncoder":
+        """Fit on the given training data and return ``self``."""
+        self.categories_: list[list] = []
+        for values in columns:
+            present = [v for v in values.tolist() if v is not None]
+            self.categories_.append(sorted(set(present), key=str))
+        return self
+
+    def transform(self, columns: list[np.ndarray]) -> np.ndarray:
+        """Transform the input using the fitted state."""
+        if len(columns) != len(self.categories_):
+            raise ValueError(
+                f"fitted on {len(self.categories_)} columns, got {len(columns)}"
+            )
+        blocks = []
+        for values, cats in zip(columns, self.categories_):
+            lookup = {c: i for i, c in enumerate(cats)}
+            block = np.zeros((len(values), len(cats)))
+            for row, value in enumerate(values.tolist()):
+                j = lookup.get(value)
+                if j is not None:
+                    block[row, j] = 1.0
+            blocks.append(block)
+        if not blocks:
+            return np.zeros((0, 0))
+        return np.hstack(blocks)
+
+    def n_output_features(self) -> int:
+        """Number of columns the transform produces."""
+        return sum(len(c) for c in self.categories_)
+
+
+_MISSING_CATEGORY = "<missing>"
+
+
+class TabularPreprocessor:
+    """DataFrame → float matrix: impute, scale numerics, one-hot categoricals.
+
+    Fit on the training frame only and reuse for the test frame so that no
+    statistics leak across the split. The feature order of the output matrix
+    is: scaled numeric columns (frame order), then one-hot blocks (frame
+    order).
+
+    Parameters
+    ----------
+    feature_names:
+        Columns to encode, in order. The label column must not be included.
+    """
+
+    def __init__(self, feature_names: list[str]) -> None:
+        if not feature_names:
+            raise ValueError("need at least one feature column")
+        self.feature_names = list(feature_names)
+
+    def fit(self, frame: DataFrame) -> "TabularPreprocessor":
+        """Fit on the given training data and return ``self``."""
+        self.numeric_names_ = [
+            n for n in self.feature_names if frame[n].is_numeric
+        ]
+        self.categorical_names_ = [
+            n for n in self.feature_names if frame[n].is_categorical
+        ]
+        self.numeric_means_ = {}
+        for name in self.numeric_names_:
+            col = frame[name]
+            present = col.values[~col.missing_mask]
+            present = present[np.isfinite(present)]
+            self.numeric_means_[name] = float(present.mean()) if present.size else 0.0
+        numeric = self._numeric_matrix(frame)
+        self.scaler_ = StandardScaler().fit(numeric) if self.numeric_names_ else None
+        self.encoder_ = OneHotEncoder().fit(
+            [self._categorical_values(frame, n) for n in self.categorical_names_]
+        )
+        return self
+
+    def transform(self, frame: DataFrame) -> np.ndarray:
+        """Transform the input using the fitted state."""
+        parts = []
+        if self.numeric_names_:
+            parts.append(self.scaler_.transform(self._numeric_matrix(frame)))
+        if self.categorical_names_:
+            parts.append(
+                self.encoder_.transform(
+                    [self._categorical_values(frame, n) for n in self.categorical_names_]
+                )
+            )
+        if not parts:
+            raise ValueError("no feature columns to transform")
+        return np.hstack(parts)
+
+    def fit_transform(self, frame: DataFrame) -> np.ndarray:
+        """Fit and transform in one call."""
+        return self.fit(frame).transform(frame)
+
+    def n_output_features(self) -> int:
+        """Number of columns the transform produces."""
+        n = len(self.numeric_names_)
+        if self.categorical_names_:
+            n += self.encoder_.n_output_features()
+        return n
+
+    # ------------------------------------------------------------------ #
+    def _numeric_matrix(self, frame: DataFrame) -> np.ndarray:
+        if not self.numeric_names_:
+            return np.zeros((frame.n_rows, 0))
+        cols = []
+        for name in self.numeric_names_:
+            col = frame[name]
+            values = col.values.copy()
+            values[col.missing_mask] = self.numeric_means_[name]
+            # Guard against non-finite dirty cells (e.g. inf from scaling
+            # errors compounding); clamp to the imputation value.
+            bad = ~np.isfinite(values)
+            values[bad] = self.numeric_means_[name]
+            cols.append(values)
+        return np.column_stack(cols)
+
+    @staticmethod
+    def _categorical_values(frame: DataFrame, name: str) -> np.ndarray:
+        col = frame[name]
+        values = col.values.copy()
+        values[col.missing_mask] = _MISSING_CATEGORY
+        return values

@@ -1,0 +1,76 @@
+"""Algorithm registry: names used throughout the paper → estimators.
+
+``svm``, ``knn``, ``mlp``, ``gb`` are the four classifiers of §4.4;
+``lir``, ``lor`` and ``ac_svm`` are the convex learners used in the
+ActiveClean comparison (§4.5). Each entry also carries the random-search
+hyperparameter space used for the paper's 10-sample optimization.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+from repro.ml.base import BaseEstimator
+from repro.ml.boosting import GradientBoostingClassifier
+from repro.ml.knn import KNeighborsClassifier
+from repro.ml.linear import LinearRegressionClassifier, LogisticRegression
+from repro.ml.mlp import MLPClassifier
+from repro.ml.svm import LinearSVC
+
+__all__ = ["make_classifier", "available_algorithms", "hyperparameter_space", "CONVEX_ALGORITHMS"]
+
+#: Algorithms with per-sample gradient access (usable by ActiveClean).
+CONVEX_ALGORITHMS = ("ac_svm", "lir", "lor")
+
+_FACTORIES: dict[str, Callable[[], BaseEstimator]] = {
+    "svm": lambda: LinearSVC(C=1.0),
+    "knn": lambda: KNeighborsClassifier(n_neighbors=5),
+    "mlp": lambda: MLPClassifier(hidden_sizes=(32,), max_epochs=60, random_state=0),
+    "gb": lambda: GradientBoostingClassifier(n_estimators=40, max_depth=3),
+    "lir": lambda: LinearRegressionClassifier(alpha=1e-3),
+    "lor": lambda: LogisticRegression(C=1.0),
+    "ac_svm": lambda: LinearSVC(C=1.0),
+}
+
+_SPACES: dict[str, Mapping[str, Sequence]] = {
+    "svm": {"C": [0.03, 0.1, 0.3, 1.0, 3.0, 10.0]},
+    "knn": {"n_neighbors": [3, 5, 7, 9, 11, 15]},
+    "mlp": {
+        "hidden_sizes": [(16,), (32,), (64,), (32, 16)],
+        "learning_rate": [3e-3, 1e-2, 3e-2],
+    },
+    "gb": {
+        "n_estimators": [20, 40, 60],
+        "max_depth": [2, 3, 4],
+        "learning_rate": [0.05, 0.1, 0.2],
+    },
+    "lir": {"alpha": [1e-4, 1e-3, 1e-2, 1e-1]},
+    "lor": {"C": [0.03, 0.1, 0.3, 1.0, 3.0, 10.0]},
+    "ac_svm": {"C": [0.03, 0.1, 0.3, 1.0, 3.0, 10.0]},
+}
+
+
+def available_algorithms() -> list[str]:
+    """Names accepted by :func:`make_classifier`."""
+    return sorted(_FACTORIES)
+
+
+def make_classifier(name: str) -> BaseEstimator:
+    """Instantiate a fresh, unfitted classifier by paper name."""
+    try:
+        factory = _FACTORIES[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown algorithm {name!r}; choose from {available_algorithms()}"
+        ) from None
+    return factory()
+
+
+def hyperparameter_space(name: str) -> Mapping[str, Sequence]:
+    """Random-search space for the given algorithm name."""
+    try:
+        return dict(_SPACES[name.lower()])
+    except KeyError:
+        raise ValueError(
+            f"unknown algorithm {name!r}; choose from {available_algorithms()}"
+        ) from None

@@ -1,0 +1,134 @@
+"""CART regression trees (the weak learner inside gradient boosting)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, check_X
+
+__all__ = ["DecisionTreeRegressor"]
+
+
+@dataclass
+class _Node:
+    """One tree node; leaves have ``feature == -1``."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    left: int = -1
+    right: int = -1
+    value: float = 0.0
+
+
+class DecisionTreeRegressor(BaseEstimator):
+    """Exact greedy CART with squared-error splits.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth (a single leaf is depth 0).
+    min_samples_leaf:
+        Minimum samples on each side of a split.
+    min_samples_split:
+        Minimum samples required to consider splitting a node.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 3,
+        min_samples_leaf: int = 1,
+        min_samples_split: int = 2,
+    ) -> None:
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.min_samples_split = min_samples_split
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeRegressor":
+        """Fit on the given training data and return ``self``."""
+        X = check_X(X)
+        y = np.asarray(y, dtype=float)
+        if len(X) != len(y):
+            raise ValueError(f"X has {len(X)} rows but y has {len(y)}")
+        if len(X) == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self.nodes_: list[_Node] = []
+        self._build(X, y, np.arange(len(X)), depth=0)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict labels (or values) for the given input."""
+        X = check_X(X)
+        out = np.empty(len(X))
+        for i, row in enumerate(X):
+            node = self.nodes_[0]
+            while node.feature != -1:
+                node = (
+                    self.nodes_[node.left]
+                    if row[node.feature] <= node.threshold
+                    else self.nodes_[node.right]
+                )
+            out[i] = node.value
+        return out
+
+    @property
+    def n_leaves(self) -> int:
+        """Number of leaf nodes."""
+        return sum(1 for n in self.nodes_ if n.feature == -1)
+
+    # ------------------------------------------------------------------ #
+    def _build(self, X: np.ndarray, y: np.ndarray, idx: np.ndarray, depth: int) -> int:
+        node_id = len(self.nodes_)
+        self.nodes_.append(_Node(value=float(y[idx].mean())))
+        if depth >= self.max_depth or len(idx) < self.min_samples_split:
+            return node_id
+        split = self._best_split(X, y, idx)
+        if split is None:
+            return node_id
+        feature, threshold = split
+        mask = X[idx, feature] <= threshold
+        left_id = self._build(X, y, idx[mask], depth + 1)
+        right_id = self._build(X, y, idx[~mask], depth + 1)
+        node = self.nodes_[node_id]
+        node.feature = feature
+        node.threshold = threshold
+        node.left = left_id
+        node.right = right_id
+        return node_id
+
+    def _best_split(
+        self, X: np.ndarray, y: np.ndarray, idx: np.ndarray
+    ) -> tuple[int, float] | None:
+        n = len(idx)
+        y_node = y[idx]
+        best_gain = 1e-12
+        best: tuple[int, float] | None = None
+        total_sum = y_node.sum()
+        base_sse = np.sum(y_node**2) - total_sum**2 / n
+        min_leaf = self.min_samples_leaf
+        for feature in range(X.shape[1]):
+            values = X[idx, feature]
+            order = np.argsort(values, kind="stable")
+            v_sorted = values[order]
+            y_sorted = y_node[order]
+            # Candidate split positions: between distinct consecutive values.
+            distinct = v_sorted[1:] != v_sorted[:-1]
+            positions = np.flatnonzero(distinct) + 1  # left part size
+            if positions.size == 0:
+                continue
+            valid = (positions >= min_leaf) & (positions <= n - min_leaf)
+            positions = positions[valid]
+            if positions.size == 0:
+                continue
+            prefix = np.cumsum(y_sorted)
+            left_sum = prefix[positions - 1]
+            right_sum = total_sum - left_sum
+            gain = left_sum**2 / positions + right_sum**2 / (n - positions) - total_sum**2 / n
+            j = int(np.argmax(gain))
+            if gain[j] > best_gain and gain[j] > 1e-12 * max(1.0, base_sse):
+                best_gain = gain[j]
+                pos = positions[j]
+                threshold = 0.5 * (v_sorted[pos - 1] + v_sorted[pos])
+                best = (feature, float(threshold))
+        return best

@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "--dataset", "cmc"])
+        assert args.methods == ["comet", "rr"]
+        assert args.errors == ["missing"]
+        assert args.budget == 10.0
+
+    def test_run_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--dataset", "imagenet"])
+
+    def test_run_rejects_unknown_method(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--dataset", "cmc", "--methods", "alchemy"]
+            )
+
+    def test_recommend_k(self):
+        args = build_parser().parse_args(
+            ["recommend", "--dataset", "churn", "-k", "5"]
+        )
+        assert args.k == 5
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_list_output(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "cmc" in out and "datasets" in out
+        assert "comet" in out
+
+    def test_run_small(self, capsys):
+        code = main([
+            "run", "--dataset", "cmc", "--algorithm", "lor",
+            "--methods", "rr", "--budget", "2", "--rows", "150",
+            "--step", "0.05",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "RR" in out
+
+    def test_recommend_small(self, capsys):
+        code = main([
+            "recommend", "--dataset", "cmc", "--algorithm", "lor",
+            "--budget", "2", "--rows", "150", "--step", "0.05", "-k", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "current F1" in out or "no candidate" in out

@@ -1,0 +1,82 @@
+"""Unit tests for CometConfig validation and CleaningTrace semantics."""
+
+import numpy as np
+import pytest
+
+from repro.core import CleaningTrace, CometConfig, IterationRecord
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        cfg = CometConfig()
+        assert cfg.step == 0.01
+        assert cfg.n_pollution_steps == 2
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"step": 0.0},
+            {"step": 1.5},
+            {"n_pollution_steps": 0},
+            {"n_combinations": 0},
+            {"credible_level": 1.0},
+            {"credible_level": 0.0},
+            {"regression_degree": 0},
+            {"min_cost": 0.0},
+            {"search_iterations": -1},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            CometConfig(**kwargs)
+
+
+def _record(i, spent, f1, reverted=False, predicted=None):
+    return IterationRecord(
+        iteration=i,
+        feature="f",
+        error="missing",
+        cost=1.0,
+        budget_spent=spent,
+        f1_before=0.5,
+        f1_after=f1,
+        predicted_f1=predicted,
+        reverted=reverted,
+    )
+
+
+class TestCleaningTrace:
+    def test_empty_trace(self):
+        trace = CleaningTrace(initial_f1=0.6)
+        assert trace.final_f1 == 0.6
+        assert trace.total_spent == 0.0
+        assert trace.f1_at([0, 10]).tolist() == [0.6, 0.6]
+
+    def test_f1_at_propagates_between_measurements(self):
+        trace = CleaningTrace(initial_f1=0.5)
+        trace.append(_record(1, spent=2.0, f1=0.55))
+        trace.append(_record(2, spent=5.0, f1=0.60))
+        grid = trace.f1_at([0, 1, 2, 3, 4, 5, 6])
+        assert grid.tolist() == [0.5, 0.5, 0.55, 0.55, 0.55, 0.60, 0.60]
+
+    def test_f1_at_exact_budget_boundary(self):
+        trace = CleaningTrace(initial_f1=0.5)
+        trace.append(_record(1, spent=3.0, f1=0.7))
+        assert trace.f1_at([3.0])[0] == 0.7
+
+    def test_gain_property(self):
+        assert _record(1, 1.0, 0.58).gain == pytest.approx(0.08)
+
+    def test_prediction_errors_skip_reverted_and_missing(self):
+        trace = CleaningTrace(initial_f1=0.5)
+        trace.append(_record(1, 1.0, 0.55, predicted=0.60))
+        trace.append(_record(2, 2.0, 0.56, predicted=None))
+        trace.append(_record(3, 3.0, 0.50, reverted=True, predicted=0.9))
+        errors = trace.prediction_errors()
+        assert errors == [pytest.approx(0.05)]
+
+    def test_final_f1_tracks_last_record(self):
+        trace = CleaningTrace(initial_f1=0.5)
+        trace.append(_record(1, 1.0, 0.9))
+        assert trace.final_f1 == 0.9
+        assert trace.total_spent == 1.0

@@ -1,0 +1,143 @@
+"""Unit tests for the COMET Estimator (E1 measurement + E2 prediction)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CometConfig, CometEstimator
+from repro.datasets import load_dataset, pollute
+from repro.errors import MissingValues, make_error
+from repro.ml import make_classifier
+
+
+@pytest.fixture(scope="module")
+def setting():
+    dataset = load_dataset("eeg", n_rows=300, rng=0)
+    polluted = pollute(dataset, error_types=["missing"], rng=2)
+    estimator = CometEstimator(
+        make_classifier("lor"),
+        label="label",
+        config=CometConfig(step=0.05, n_pollution_steps=2),
+        rng=0,
+    )
+    return estimator, polluted
+
+
+class TestMeasurement:
+    def test_baseline_in_unit_interval(self, setting):
+        estimator, polluted = setting
+        f1 = estimator.measure_baseline(polluted.train, polluted.test)
+        assert 0.0 <= f1 <= 1.0
+
+    def test_curve_shape(self, setting):
+        estimator, polluted = setting
+        baseline = estimator.measure_baseline(polluted.train, polluted.test)
+        levels, scores, rows = estimator.measure_pollution_curve(
+            polluted.train, polluted.test, "num_0", MissingValues(), baseline
+        )
+        assert levels.tolist() == [0.0, 0.05, 0.10]
+        assert scores[0] == baseline
+        assert len(rows) > 0
+
+    def test_combinations_extend_curve(self, setting):
+        estimator, polluted = setting
+        estimator2 = CometEstimator(
+            make_classifier("lor"),
+            label="label",
+            config=CometConfig(step=0.05, n_pollution_steps=2, n_combinations=2),
+            rng=0,
+        )
+        baseline = 0.7
+        levels, scores, __ = estimator2.measure_pollution_curve(
+            polluted.train, polluted.test, "num_0", MissingValues(), baseline
+        )
+        assert len(levels) == 1 + 2 * 2  # baseline + steps × combinations
+
+    def test_heavy_pollution_of_strong_feature_hurts(self):
+        """Strong signal feature + heavy pollution → measurable F1 drop."""
+        dataset = load_dataset("eeg", n_rows=400, rng=0)
+        polluted = pollute(dataset, error_types=["missing"], rng=3, scale=0.01)
+        estimator = CometEstimator(
+            make_classifier("lor"),
+            label="label",
+            config=CometConfig(step=0.25, n_pollution_steps=2),
+            rng=0,
+        )
+        baseline = estimator.measure_baseline(polluted.train, polluted.test)
+        drops = []
+        for feature in polluted.feature_names[:5]:
+            __, scores, ___ = estimator.measure_pollution_curve(
+                polluted.train, polluted.test, feature, MissingValues(), baseline
+            )
+            drops.append(baseline - scores[1:].mean())
+        assert max(drops) > 0.01
+
+
+class TestPrediction:
+    def test_prediction_fields(self, setting):
+        estimator, polluted = setting
+        baseline = estimator.measure_baseline(polluted.train, polluted.test)
+        prediction = estimator.estimate(
+            polluted.train, polluted.test, "num_0", MissingValues(), baseline
+        )
+        assert prediction.feature == "num_0"
+        assert prediction.error == "missing"
+        assert prediction.uncertainty >= 0.0
+        assert prediction.levels[0] == 0.0
+
+    def test_decreasing_curve_predicts_gain(self):
+        estimator = CometEstimator(
+            make_classifier("lor"), label="label", config=CometConfig(step=0.01)
+        )
+        levels = np.array([0.0, 0.01, 0.02])
+        scores = np.array([0.80, 0.78, 0.76])
+        prediction = estimator.predict_cleaning(
+            "f", make_error("missing"), levels, scores, np.arange(3)
+        )
+        assert prediction.predicted_f1 > 0.80
+
+    def test_flat_curve_predicts_no_gain(self):
+        estimator = CometEstimator(
+            make_classifier("lor"), label="label", config=CometConfig(step=0.01)
+        )
+        levels = np.array([0.0, 0.01, 0.02])
+        scores = np.array([0.80, 0.80, 0.80])
+        prediction = estimator.predict_cleaning(
+            "f", make_error("missing"), levels, scores, np.arange(3)
+        )
+        assert prediction.predicted_f1 == pytest.approx(0.80, abs=0.02)
+
+
+class TestDiscrepancyAdjustment:
+    def _predict(self, estimator):
+        levels = np.array([0.0, 0.01, 0.02])
+        scores = np.array([0.80, 0.78, 0.76])
+        return estimator.predict_cleaning(
+            "f", make_error("missing"), levels, scores, np.arange(3)
+        )
+
+    def test_adjustment_shifts_by_mean_discrepancy(self):
+        estimator = CometEstimator(
+            make_classifier("lor"), label="label", config=CometConfig(step=0.01)
+        )
+        first = self._predict(estimator)
+        estimator.record_outcome(first, first.predicted_f1 - 0.10)
+        second = self._predict(estimator)
+        assert second.predicted_f1 == pytest.approx(first.predicted_f1 - 0.10, abs=1e-9)
+
+    def test_adjustment_disabled(self):
+        estimator = CometEstimator(
+            make_classifier("lor"),
+            label="label",
+            config=CometConfig(step=0.01, adjust_predictions=False),
+        )
+        first = self._predict(estimator)
+        estimator.record_outcome(first, 0.1)
+        second = self._predict(estimator)
+        assert second.predicted_f1 == pytest.approx(first.predicted_f1)
+
+    def test_history_tracked_per_candidate(self):
+        estimator = CometEstimator(make_classifier("lor"), label="label")
+        prediction = self._predict(estimator)
+        estimator.record_outcome(prediction, 0.9)
+        assert len(estimator.discrepancy_history("f", "missing")) == 1
+        assert estimator.discrepancy_history("g", "missing") == []

@@ -1,0 +1,121 @@
+"""Unit tests for the COMET Recommender (scoring, ranking, fallback)."""
+
+import numpy as np
+import pytest
+
+from repro.cleaning import paper_cost_model, uniform_cost_model
+from repro.core import CometConfig, CometRecommender
+from repro.core.estimator import Prediction
+
+
+def _prediction(feature, error, predicted_f1, uncertainty=0.0):
+    return Prediction(
+        feature=feature,
+        error=error,
+        predicted_f1=predicted_f1,
+        uncertainty=uncertainty,
+        levels=np.array([0.0]),
+        scores=np.array([0.5]),
+        polluted_rows=np.array([], dtype=int),
+    )
+
+
+class TestSelectPositives:
+    def test_only_positive_gains_survive(self):
+        recommender = CometRecommender()
+        predictions = [
+            _prediction("up", "missing", 0.60),
+            _prediction("flat", "missing", 0.50),
+            _prediction("down", "missing", 0.40),
+        ]
+        ranked = recommender.rank(predictions, baseline_f1=0.50, cost_model=uniform_cost_model())
+        assert [c.feature for c in ranked] == ["up"]
+
+    def test_empty_when_nothing_positive(self):
+        recommender = CometRecommender()
+        ranked = recommender.rank(
+            [_prediction("f", "missing", 0.4)], 0.5, uniform_cost_model()
+        )
+        assert ranked == []
+
+
+class TestScoring:
+    def test_eq4_value(self):
+        """Score = (gain − U) / C, the paper's Eq. 4 in gain form."""
+        recommender = CometRecommender()
+        ranked = recommender.rank(
+            [_prediction("f", "missing", 0.88, uncertainty=0.02)],
+            baseline_f1=0.80,
+            cost_model=uniform_cost_model(),
+        )
+        assert ranked[0].score == pytest.approx((0.08 - 0.02) / 1.0)
+
+    def test_cost_normalization_reorders(self):
+        recommender = CometRecommender()
+        cost_model = paper_cost_model()
+        predictions = [
+            _prediction("a", "missing", 0.60),  # gain 0.10, cost 2 (one-shot)
+            _prediction("b", "scaling", 0.57),  # gain 0.07, cost 1
+        ]
+        ranked = recommender.rank(predictions, 0.50, cost_model)
+        assert [c.feature for c in ranked] == ["b", "a"]
+
+    def test_uncertainty_penalizes(self):
+        recommender = CometRecommender()
+        predictions = [
+            _prediction("sure", "missing", 0.58, uncertainty=0.0),
+            _prediction("unsure", "missing", 0.60, uncertainty=0.05),
+        ]
+        ranked = recommender.rank(predictions, 0.50, uniform_cost_model())
+        assert ranked[0].feature == "sure"
+
+    def test_uncertainty_ablation(self):
+        recommender = CometRecommender(CometConfig(use_uncertainty=False))
+        predictions = [
+            _prediction("sure", "missing", 0.58, uncertainty=0.0),
+            _prediction("unsure", "missing", 0.60, uncertainty=0.05),
+        ]
+        ranked = recommender.rank(predictions, 0.50, uniform_cost_model())
+        assert ranked[0].feature == "unsure"
+
+    def test_zero_cost_uses_min_cost_floor(self):
+        recommender = CometRecommender(CometConfig(min_cost=0.25))
+        cost_model = paper_cost_model()
+        cost_model.record_step("f", "missing")  # next missing step costs 0
+        ranked = recommender.rank(
+            [_prediction("f", "missing", 0.6)], 0.5, cost_model
+        )
+        assert np.isfinite(ranked[0].score)
+        assert ranked[0].score == pytest.approx(0.1 / 0.25)
+
+
+class TestFallback:
+    def test_no_candidates_returns_none(self):
+        assert CometRecommender().fallback_candidate([]) is None
+
+    def test_prefers_best_past_outcome(self):
+        recommender = CometRecommender()
+        recommender.record_outcome("a", "missing", 0.55)
+        recommender.record_outcome("b", "missing", 0.70)
+        pair = recommender.fallback_candidate([("a", "missing"), ("b", "missing")])
+        assert pair == ("b", "missing")
+
+    def test_without_history_takes_first(self):
+        recommender = CometRecommender()
+        pair = recommender.fallback_candidate([("x", "noise"), ("y", "noise")])
+        assert pair == ("x", "noise")
+
+    def test_history_keeps_best(self):
+        recommender = CometRecommender()
+        recommender.record_outcome("a", "missing", 0.70)
+        recommender.record_outcome("a", "missing", 0.60)  # worse later run
+        recommender.record_outcome("b", "missing", 0.65)
+        assert recommender.fallback_candidate(
+            [("a", "missing"), ("b", "missing")]
+        ) == ("a", "missing")
+
+    def test_ignores_unavailable_pairs(self):
+        recommender = CometRecommender()
+        recommender.record_outcome("done", "missing", 0.99)
+        pair = recommender.fallback_candidate([("open", "missing")])
+        assert pair == ("open", "missing")

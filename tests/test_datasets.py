@@ -1,0 +1,164 @@
+"""Tests for the dataset registry, the synthetic generator, and CleanML."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets import (
+    CLEANML_ERRORS,
+    DATASET_NAMES,
+    dataset_summaries,
+    load_cleanml,
+    load_dataset,
+    pollute,
+)
+from repro.datasets.synth import SyntheticSpec, synthesize
+
+
+class TestRegistry:
+    def test_all_seven_datasets(self):
+        assert set(DATASET_NAMES) == {
+            "cmc", "churn", "eeg", "s-credit", "airbnb", "credit", "titanic"
+        }
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            load_dataset("mnist")
+
+    def test_case_insensitive(self):
+        assert load_dataset("CMC", n_rows=50).name == "cmc"
+
+    def test_deterministic(self):
+        a = load_dataset("eeg", n_rows=100)
+        b = load_dataset("eeg", n_rows=100)
+        assert a.frame == b.frame
+
+    def test_rng_perturbs_data(self):
+        a = load_dataset("eeg", n_rows=100, rng=1)
+        b = load_dataset("eeg", n_rows=100, rng=2)
+        assert a.frame != b.frame
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_schema_matches_table1(self, name):
+        summary = {r["name"]: r for r in dataset_summaries()}[name]
+        dataset = load_dataset(name, n_rows=120)
+        frame = dataset.frame
+        assert len(frame.categorical_columns()) == summary["n_categorical"]
+        numeric_features = [
+            f for f in dataset.feature_names if frame[f].is_numeric
+        ]
+        assert len(numeric_features) == summary["n_numerical"]
+        y = frame.label_array("label")
+        assert len(np.unique(y)) == summary["n_classes"]
+
+    def test_default_rows_match_table1(self):
+        # Only check the small ones to keep the test fast.
+        assert load_dataset("titanic").frame.n_rows == 891
+        assert load_dataset("s-credit").frame.n_rows == 1000
+
+    def test_split_stratified_and_disjoint(self):
+        dataset = load_dataset("churn", n_rows=200)
+        train, test = dataset.split(test_size=0.25, rng=0)
+        assert train.n_rows + test.n_rows == 200
+        y_all = dataset.frame.label_array("label")
+        y_test = test.label_array("label")
+        # Minority share roughly preserved.
+        assert abs(np.mean(y_test) - np.mean(y_all)) < 0.1
+
+
+class TestSummaries:
+    def test_table1_values(self):
+        rows = {r["name"]: r for r in dataset_summaries()}
+        assert rows["cmc"]["n_rows"] == 1473
+        assert rows["eeg"]["n_numerical"] == 14
+        assert rows["airbnb"]["n_rows"] == 26288
+        assert rows["cmc"]["n_classes"] == 3
+
+
+class TestSyntheticGenerator:
+    def test_signal_learnable(self):
+        from repro.ml import TabularModel, make_classifier
+
+        spec = SyntheticSpec(n_rows=400, n_numeric=4, n_categorical=2, label_noise=0.4)
+        frame = synthesize(spec, rng=0)
+        model = TabularModel(make_classifier("lor"), label="label")
+        f1 = model.fit_score(frame.take(range(300)), frame.take(range(300, 400)))
+        assert f1 > 0.7
+
+    def test_class_balance_calibrated(self):
+        spec = SyntheticSpec(
+            n_rows=2000, n_numeric=3, n_categorical=0, class_balance=(0.9, 0.1)
+        )
+        y = synthesize(spec, rng=0).label_array("label")
+        assert abs(np.mean(y) - 0.1) < 0.04
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticSpec(n_rows=5, n_numeric=1, n_categorical=0)
+        with pytest.raises(ValueError):
+            SyntheticSpec(n_rows=100, n_numeric=0, n_categorical=0)
+        with pytest.raises(ValueError):
+            SyntheticSpec(n_rows=100, n_numeric=1, n_categorical=0, n_classes=1)
+        with pytest.raises(ValueError):
+            SyntheticSpec(n_rows=100, n_numeric=1, n_categorical=0, label_noise=0.0)
+        with pytest.raises(ValueError):
+            SyntheticSpec(
+                n_rows=100, n_numeric=1, n_categorical=0, class_balance=(1.0,)
+            )
+
+    def test_categorical_vocab_per_feature(self):
+        spec = SyntheticSpec(
+            n_rows=300, n_numeric=0, n_categorical=2, cat_cardinality=(3, 5)
+        )
+        frame = synthesize(spec, rng=0)
+        assert len(frame["cat_0"].categories()) == 3
+        assert len(frame["cat_1"].categories()) == 5
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_property_no_missing_in_clean_data(self, seed):
+        spec = SyntheticSpec(n_rows=50, n_numeric=2, n_categorical=1)
+        frame = synthesize(spec, rng=seed)
+        for column in frame:
+            assert column.n_missing == 0
+
+
+class TestPollute:
+    def test_produces_ground_truth_pair(self):
+        dataset = load_dataset("cmc", n_rows=150)
+        polluted = pollute(dataset, error_types=["missing"], rng=0)
+        assert polluted.dirty_train.total() > 0
+        assert polluted.clean_train != polluted.train
+
+    def test_deterministic_given_rng(self):
+        dataset = load_dataset("cmc", n_rows=150)
+        a = pollute(dataset, error_types=["missing"], rng=5)
+        b = pollute(dataset, error_types=["missing"], rng=5)
+        assert a.train == b.train
+
+
+class TestCleanML:
+    def test_error_assignment(self):
+        assert CLEANML_ERRORS == {
+            "airbnb": "scaling", "credit": "scaling", "titanic": "missing"
+        }
+
+    @pytest.mark.parametrize("name", sorted(CLEANML_ERRORS))
+    def test_loads_with_characteristic_error(self, name):
+        polluted = load_cleanml(name, n_rows=150, rng=0)
+        error = CLEANML_ERRORS[name]
+        pairs = polluted.dirty_train.pairs()
+        assert pairs, "CleanML data must be dirty"
+        assert all(e == error for __, e in pairs)
+
+    def test_non_cleanml_name_raises(self):
+        with pytest.raises(ValueError, match="not a CleanML dataset"):
+            load_cleanml("cmc")
+
+    def test_dirt_pattern_fixed_across_splits(self):
+        """The affected features are a dataset property, not split noise."""
+        a = load_cleanml("titanic", n_rows=150, rng=0)
+        b = load_cleanml("titanic", n_rows=150, rng=1)
+        assert {f for f, _ in a.dirty_train.pairs()} == {
+            f for f, _ in b.dirty_train.pairs()
+        }

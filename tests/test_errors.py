@@ -1,0 +1,316 @@
+"""Unit and property tests for the error-injection substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import (
+    CategoricalShift,
+    DirtyCells,
+    GaussianNoise,
+    MissingValues,
+    Polluter,
+    PrePollution,
+    Scaling,
+    error_registry,
+    make_error,
+)
+from repro.frame import Column, DataFrame
+
+
+def _frame(n=100, seed=0):
+    rng = np.random.default_rng(seed)
+    return DataFrame(
+        {
+            "num": rng.normal(10.0, 2.0, size=n),
+            "num2": rng.uniform(0, 1, size=n),
+            "cat": rng.choice(["a", "b", "c"], size=n),
+            "label": rng.integers(0, 2, size=n),
+        }
+    )
+
+
+class TestRegistry:
+    def test_all_five_registered(self):
+        assert set(error_registry()) == {
+            "missing", "noise", "categorical", "scaling", "inconsistent"
+        }
+
+    def test_make_error(self):
+        assert isinstance(make_error("missing"), MissingValues)
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown error type"):
+            make_error("duplicates")
+
+
+class TestMissingValues:
+    def test_applies_to_everything(self):
+        frame = _frame()
+        err = MissingValues()
+        assert err.applies_to(frame["num"]) and err.applies_to(frame["cat"])
+
+    def test_numeric_cells_become_nan(self):
+        frame = _frame()
+        err = MissingValues()
+        values = err.corrupt(frame["num"], np.array([0, 1]), np.random.default_rng(0))
+        assert all(np.isnan(v) for v in values)
+
+    def test_categorical_cells_become_none(self):
+        frame = _frame()
+        err = MissingValues()
+        values = err.corrupt(frame["cat"], np.array([0]), np.random.default_rng(0))
+        assert values == [None]
+
+
+class TestGaussianNoise:
+    def test_applies_only_to_numeric(self):
+        frame = _frame()
+        err = GaussianNoise()
+        assert err.applies_to(frame["num"]) and not err.applies_to(frame["cat"])
+
+    def test_values_change_and_stay_finite(self):
+        frame = _frame()
+        rows = np.arange(20)
+        values = np.array(
+            GaussianNoise().corrupt(frame["num"], rows, np.random.default_rng(0))
+        )
+        assert np.isfinite(values).all()
+        assert not np.allclose(values, frame["num"].values[rows])
+
+    def test_noise_scales_with_sigma(self):
+        frame = _frame()
+        rows = np.arange(50)
+        small = np.array(
+            GaussianNoise(0.1, 0.1).corrupt(frame["num"], rows, np.random.default_rng(1))
+        )
+        large = np.array(
+            GaussianNoise(50.0, 50.0).corrupt(frame["num"], rows, np.random.default_rng(1))
+        )
+        base = frame["num"].values[rows]
+        assert np.abs(large - base).mean() > np.abs(small - base).mean()
+
+    def test_invalid_sigma_raises(self):
+        with pytest.raises(ValueError):
+            GaussianNoise(0.0, 1.0)
+        with pytest.raises(ValueError):
+            GaussianNoise(2.0, 1.0)
+
+    def test_missing_cells_get_finite_noise(self):
+        col = Column("x", [1.0, np.nan, 3.0])
+        values = GaussianNoise().corrupt(col, np.array([1]), np.random.default_rng(0))
+        assert np.isfinite(values[0])
+
+
+class TestCategoricalShift:
+    def test_applies_only_to_multicategory(self):
+        frame = _frame()
+        err = CategoricalShift()
+        assert err.applies_to(frame["cat"])
+        assert not err.applies_to(frame["num"])
+        single = Column("s", ["x"] * 5)
+        assert not err.applies_to(single)
+
+    def test_every_value_actually_shifts(self):
+        frame = _frame()
+        rows = np.arange(30)
+        values = CategoricalShift().corrupt(frame["cat"], rows, np.random.default_rng(0))
+        original = frame["cat"].values[rows].tolist()
+        assert all(v != o for v, o in zip(values, original))
+
+    def test_replacements_are_known_categories(self):
+        frame = _frame()
+        values = CategoricalShift().corrupt(
+            frame["cat"], np.arange(10), np.random.default_rng(0)
+        )
+        assert set(values) <= {"a", "b", "c"}
+
+
+class TestScaling:
+    def test_applies_only_to_numeric(self):
+        frame = _frame()
+        assert Scaling().applies_to(frame["num"])
+        assert not Scaling().applies_to(frame["cat"])
+
+    def test_factor_applied(self):
+        frame = _frame()
+        rows = np.arange(10)
+        values = np.array(Scaling(factors=(10.0,)).corrupt(frame["num"], rows, np.random.default_rng(0)))
+        assert np.allclose(values, frame["num"].values[rows] * 10.0)
+
+    def test_factor_among_allowed(self):
+        frame = _frame()
+        values = np.array(Scaling().corrupt(frame["num"], np.array([0]), np.random.default_rng(3)))
+        ratio = values[0] / frame["num"].values[0]
+        assert round(ratio) in (10, 100, 1000)
+
+    def test_invalid_factors_raise(self):
+        with pytest.raises(ValueError):
+            Scaling(factors=())
+        with pytest.raises(ValueError):
+            Scaling(factors=(0.0,))
+
+
+class TestPolluter:
+    def test_pollute_once_touches_step_fraction(self):
+        frame = _frame(n=200)
+        polluter = Polluter(MissingValues(), step=0.05, rng=0)
+        polluted, rows = polluter.pollute_once(frame, "num")
+        assert len(rows) == 10
+        assert polluted["num"].n_missing == 10
+        assert frame["num"].n_missing == 0  # original untouched
+
+    def test_incremental_states_cumulative(self):
+        frame = _frame(n=100)
+        polluter = Polluter(MissingValues(), step=0.03, rng=0)
+        trajectories = polluter.incremental_states(frame, "num", n_steps=3)
+        states = trajectories[0]
+        counts = [s.frame["num"].n_missing for s in states]
+        assert counts == [3, 6, 9]
+        assert [round(s.level, 4) for s in states] == [0.03, 0.06, 0.09]
+
+    def test_multiple_combinations_differ(self):
+        frame = _frame(n=100)
+        polluter = Polluter(MissingValues(), step=0.05, n_combinations=2, rng=0)
+        a, b = polluter.incremental_states(frame, "num", n_steps=1)
+        assert set(a[0].rows.tolist()) != set(b[0].rows.tolist())
+
+    def test_inapplicable_error_raises(self):
+        frame = _frame()
+        polluter = Polluter(CategoricalShift(), rng=0)
+        with pytest.raises(ValueError, match="does not apply"):
+            polluter.pollute_once(frame, "num")
+
+    def test_invalid_step_raises(self):
+        with pytest.raises(ValueError):
+            Polluter(MissingValues(), step=0.0)
+
+    def test_invalid_combinations_raise(self):
+        with pytest.raises(ValueError):
+            Polluter(MissingValues(), n_combinations=0)
+
+    def test_cells_per_step_minimum_one(self):
+        frame = _frame(n=10)
+        polluter = Polluter(MissingValues(), step=0.01)
+        assert polluter.cells_per_step(frame) == 1
+
+
+class TestDirtyCells:
+    def test_add_and_query(self):
+        cells = DirtyCells()
+        cells.add("f", "missing", [1, 2, 3])
+        assert cells.rows("f", "missing").tolist() == [1, 2, 3]
+        assert cells.dirty_count("f") == 3
+        assert cells.features() == ["f"]
+        assert cells.error_types("f") == ["missing"]
+
+    def test_add_deduplicates(self):
+        cells = DirtyCells()
+        cells.add("f", "noise", [1, 1, 2])
+        assert cells.dirty_count("f", "noise") == 2
+
+    def test_remove(self):
+        cells = DirtyCells()
+        cells.add("f", "missing", [1, 2])
+        cells.remove("f", "missing", [1])
+        assert cells.rows("f", "missing").tolist() == [2]
+        cells.remove("f", "missing", [2])
+        assert cells.is_clean("f")
+        assert cells.features() == []
+
+    def test_is_clean_global(self):
+        cells = DirtyCells()
+        assert cells.is_clean()
+        cells.add("g", "scaling", [0])
+        assert not cells.is_clean()
+
+    def test_copy_independent(self):
+        cells = DirtyCells()
+        cells.add("f", "missing", [1])
+        dup = cells.copy()
+        dup.remove("f", "missing", [1])
+        assert cells.dirty_count("f") == 1
+
+    def test_pairs(self):
+        cells = DirtyCells()
+        cells.add("b", "noise", [0])
+        cells.add("a", "missing", [0])
+        assert cells.pairs() == [("a", "missing"), ("b", "noise")]
+
+
+class TestPrePollution:
+    def test_levels_respected(self):
+        train = _frame(n=200, seed=1)
+        test = _frame(n=100, seed=2)
+        pre = PrePollution(MissingValues(), rng=0)
+        dataset = pre.apply(train, test, label="label", levels={"num": 0.10, "num2": 0.0, "cat": 0.0})
+        assert dataset.train["num"].n_missing == 20
+        assert dataset.test["num"].n_missing == 10
+        assert dataset.dirty_train.dirty_count("num", "missing") == 20
+        assert dataset.dirty_test.dirty_count("num", "missing") == 10
+
+    def test_clean_ground_truth_preserved(self):
+        train = _frame(n=100, seed=3)
+        test = _frame(n=50, seed=4)
+        pre = PrePollution(MissingValues(), rng=0)
+        dataset = pre.apply(train, test, label="label")
+        assert dataset.clean_train == train
+        assert dataset.clean_test == test
+
+    def test_label_never_polluted(self):
+        train = _frame(n=100, seed=5)
+        pre = PrePollution([MissingValues(), GaussianNoise()], rng=0)
+        dataset = pre.apply(train, _frame(n=50, seed=6), label="label")
+        assert dataset.train["label"] == train["label"]
+        assert "label" not in dataset.dirty_train.features()
+
+    def test_sampled_levels_are_step_multiples(self):
+        pre = PrePollution(MissingValues(), step=0.01, rng=0)
+        levels = pre.sample_levels(_frame(), label="label")
+        for level in levels.values():
+            assert round(level * 100) == pytest.approx(level * 100)
+
+    def test_inapplicable_feature_gets_zero_level(self):
+        pre = PrePollution(CategoricalShift(), rng=0)
+        levels = pre.sample_levels(_frame(), label="label")
+        assert levels["num"] == 0.0
+        assert levels["num2"] == 0.0
+
+    def test_multi_error_records_multiple_types(self):
+        train = _frame(n=300, seed=7)
+        pre = PrePollution([MissingValues(), GaussianNoise(), Scaling()], rng=1)
+        dataset = pre.apply(
+            train, _frame(n=100, seed=8), label="label", levels={"num": 0.3, "num2": 0.0, "cat": 0.0}
+        )
+        assert len(dataset.dirty_train.error_types("num")) >= 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PrePollution([])
+        with pytest.raises(ValueError):
+            PrePollution(MissingValues(), scale=0.0)
+        with pytest.raises(ValueError):
+            PrePollution(MissingValues(), max_level=1.5)
+
+    def test_copy_is_deep_for_mutable_parts(self):
+        train = _frame(n=60, seed=9)
+        pre = PrePollution(MissingValues(), rng=0)
+        dataset = pre.apply(train, _frame(n=30, seed=10), label="label", levels={"num": 0.1, "num2": 0.0, "cat": 0.0})
+        dup = dataset.copy()
+        dup.train["num"].set_values([0], [123.0])
+        dup.dirty_train.remove("num", "missing", dup.dirty_train.rows("num", "missing"))
+        assert dataset.train["num"].values[0] != 123.0 or dataset.train["num"].missing_mask[0]
+        assert dataset.dirty_train.dirty_count("num") > 0
+
+
+@given(st.integers(0, 10_000), st.sampled_from(["missing", "noise", "scaling"]))
+@settings(max_examples=20, deadline=None)
+def test_property_polluter_dirty_rows_match_report(seed, error_name):
+    frame = _frame(n=80, seed=0)
+    polluter = Polluter(make_error(error_name), step=0.1, rng=seed)
+    polluted, rows = polluter.pollute_once(frame, "num")
+    changed = np.flatnonzero(
+        (polluted["num"].values != frame["num"].values)
+        | (polluted["num"].missing_mask != frame["num"].missing_mask)
+    )
+    assert set(changed.tolist()) <= set(rows.tolist())

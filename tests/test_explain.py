@@ -1,0 +1,68 @@
+"""Unit tests for Shapley feature importance."""
+
+import numpy as np
+import pytest
+
+from repro.frame import Column, DataFrame
+from repro.explain import rank_features_by_importance, shapley_values
+from repro.ml import TabularModel, make_classifier
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    """Label depends strongly on x1, weakly on x2, not at all on noise."""
+    rng = np.random.default_rng(0)
+    n = 300
+    x1 = rng.normal(size=n)
+    x2 = rng.normal(size=n)
+    noise = rng.normal(size=n)
+    y = ((2.0 * x1 + 0.4 * x2 + rng.normal(0, 0.3, n)) > 0).astype(int)
+    frame = DataFrame({"x1": x1, "x2": x2, "noise": noise, "y": y})
+    model = TabularModel(make_classifier("lor"), label="y").fit(frame)
+    return model, frame
+
+
+class TestShapleyValues:
+    def test_returns_all_features(self, fitted):
+        model, frame = fitted
+        values = shapley_values(model, frame, n_permutations=4, rng=0)
+        assert set(values) == {"x1", "x2", "noise"}
+
+    def test_strong_feature_dominates(self, fitted):
+        model, frame = fitted
+        values = shapley_values(model, frame, n_permutations=8, rng=0)
+        assert values["x1"] > values["x2"]
+        assert values["x1"] > values["noise"]
+
+    def test_values_sum_to_full_minus_masked_gap(self, fitted):
+        """Efficiency property of Shapley values (up to sampling noise)."""
+        model, frame = fitted
+        rng = np.random.default_rng(0)
+        values = shapley_values(model, frame, n_permutations=16, rng=0)
+        from repro.ml import f1_score
+
+        full = f1_score(frame.label_array("y"), model.predict(frame))
+        shuffled = frame.copy()
+        for name in model.features_:
+            shuffled.set_column(frame[name].take(rng.permutation(frame.n_rows)))
+        # The gap depends on the shuffle realization, so allow slack.
+        assert sum(values.values()) == pytest.approx(full - 0.5, abs=0.25)
+
+    def test_invalid_permutations_raise(self, fitted):
+        model, frame = fitted
+        with pytest.raises(ValueError):
+            shapley_values(model, frame, n_permutations=0)
+
+    def test_deterministic_given_rng(self, fitted):
+        model, frame = fitted
+        a = shapley_values(model, frame, n_permutations=3, rng=42)
+        b = shapley_values(model, frame, n_permutations=3, rng=42)
+        assert a == b
+
+
+class TestRanking:
+    def test_rank_order(self, fitted):
+        model, frame = fitted
+        ranked = rank_features_by_importance(model, frame, n_permutations=8, rng=0)
+        assert ranked[0] == "x1"
+        assert set(ranked) == {"x1", "x2", "noise"}

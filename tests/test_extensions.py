@@ -1,0 +1,189 @@
+"""Tests for the paper's §6 future-work extensions implemented here:
+inconsistent-representation errors, batch recommendations, the pure
+``recommend`` API, and regression-task support."""
+
+import numpy as np
+import pytest
+
+from repro import Comet, CometConfig, load_dataset, pollute
+from repro.datasets.synth import SyntheticSpec, synthesize_regression
+from repro.errors import InconsistentRepresentation, PrePollution, make_error
+from repro.frame import Column, DataFrame
+from repro.ml import LinearRegression, TabularModel, make_classifier
+from repro.ml.boosting import GradientBoostingRegressor
+from repro.ml.metrics import r2_score
+from repro.ml.model_selection import train_test_split
+
+
+class TestInconsistentRepresentation:
+    def test_registered(self):
+        assert isinstance(make_error("inconsistent"), InconsistentRepresentation)
+
+    def test_applies_only_to_categorical(self):
+        frame = DataFrame({"x": [1.0, 2.0], "c": ["a", "b"]})
+        error = InconsistentRepresentation()
+        assert error.applies_to(frame["c"])
+        assert not error.applies_to(frame["x"])
+
+    def test_variants_differ_but_derive_from_original(self):
+        col = Column("c", ["red", "blue", "red", "green"])
+        error = InconsistentRepresentation()
+        values = error.corrupt(col, np.arange(4), np.random.default_rng(0))
+        for new, old in zip(values, col.values.tolist()):
+            assert new != old
+            assert old.lower() in new.lower()
+
+    def test_missing_cells_stay_missing(self):
+        col = Column("c", np.array(["a", None], dtype=object))
+        values = InconsistentRepresentation().corrupt(
+            col, np.array([1]), np.random.default_rng(0)
+        )
+        assert values == [None]
+
+    def test_end_to_end_comet_run(self):
+        dataset = load_dataset("cmc", n_rows=200, rng=0)
+        polluted = pollute(dataset, error_types=["inconsistent"], rng=1)
+        assert polluted.dirty_train.total() > 0
+        comet = Comet(
+            polluted,
+            algorithm="lor",
+            error_types=["inconsistent"],
+            budget=3.0,
+            config=CometConfig(step=0.03),
+            rng=0,
+        )
+        trace = comet.run()
+        assert trace.records
+
+
+class TestBatchRecommendations:
+    def _comet(self, batch_size):
+        dataset = load_dataset("cmc", n_rows=220, rng=0)
+        polluted = pollute(dataset, error_types=["missing"], rng=2)
+        return Comet(
+            polluted,
+            algorithm="lor",
+            error_types=["missing"],
+            budget=8.0,
+            config=CometConfig(step=0.02, batch_size=batch_size),
+            rng=0,
+        )
+
+    def test_batch_iterate_accepts_multiple(self):
+        comet = self._comet(batch_size=3)
+        records = comet.iterate()
+        assert 1 <= len(records) <= 3
+
+    def test_batch_records_chain_f1(self):
+        comet = self._comet(batch_size=3)
+        records = comet.iterate()
+        for prev, nxt in zip(records, records[1:]):
+            assert nxt.f1_before == pytest.approx(prev.f1_after)
+
+    def test_batch_run_fills_trace(self):
+        trace = self._comet(batch_size=2).run()
+        assert trace.total_spent <= 8.0 + 1e-9
+        spent = [r.budget_spent for r in trace.records]
+        assert spent == sorted(spent)
+
+    def test_step_still_single(self):
+        comet = self._comet(batch_size=3)
+        record = comet.step()
+        assert record is not None  # a single IterationRecord, not a list
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            CometConfig(batch_size=0)
+
+
+class TestRecommendApi:
+    def test_recommend_returns_scored_candidates_without_cleaning(self):
+        dataset = load_dataset("cmc", n_rows=220, rng=0)
+        polluted = pollute(dataset, error_types=["missing"], rng=3)
+        comet = Comet(
+            polluted, algorithm="lor", error_types=["missing"],
+            budget=5.0, config=CometConfig(step=0.02), rng=0,
+        )
+        dirt_before = comet.dataset.dirty_train.total()
+        spent_before = comet.budget.spent
+        candidates = comet.recommend(k=3)
+        assert len(candidates) <= 3
+        assert comet.dataset.dirty_train.total() == dirt_before
+        assert comet.budget.spent == spent_before
+        for first, second in zip(candidates, candidates[1:]):
+            assert first.score >= second.score
+
+    def test_recommend_invalid_k(self):
+        dataset = load_dataset("cmc", n_rows=200, rng=0)
+        polluted = pollute(dataset, error_types=["missing"], rng=3)
+        comet = Comet(polluted, algorithm="lor", error_types=["missing"],
+                      budget=5.0, config=CometConfig(step=0.02), rng=0)
+        with pytest.raises(ValueError):
+            comet.recommend(k=0)
+
+
+class TestR2Score:
+    def test_perfect(self):
+        assert r2_score([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == 1.0
+
+    def test_mean_predictor_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, np.full(3, y.mean())) == pytest.approx(0.0)
+
+    def test_constant_target(self):
+        assert r2_score([2.0, 2.0], [2.0, 2.0]) == 1.0
+        assert r2_score([2.0, 2.0], [3.0, 3.0]) == 0.0
+
+    def test_can_be_negative(self):
+        assert r2_score([1.0, 2.0], [10.0, -10.0]) < 0.0
+
+
+class TestRegressionSubstrate:
+    def test_gb_regressor_fits_nonlinear(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(-2, 2, size=(300, 2))
+        y = np.sin(X[:, 0]) + X[:, 1] ** 2
+        model = GradientBoostingRegressor(n_estimators=80).fit(X[:200], y[:200])
+        assert r2_score(y[200:], model.predict(X[200:])) > 0.7
+
+    def test_tabular_model_regression(self):
+        spec = SyntheticSpec(n_rows=300, n_numeric=3, n_categorical=1)
+        frame = synthesize_regression(spec, rng=0)
+        train_idx, test_idx = train_test_split(300, rng=0)
+        model = TabularModel(LinearRegression(), label="target", task="regression")
+        score = model.fit_score(frame.take(train_idx), frame.take(test_idx))
+        assert score > 0.5
+
+    def test_regression_rejects_categorical_label(self):
+        frame = DataFrame({"x": [1.0, 2.0], "c": ["a", "b"]})
+        model = TabularModel(LinearRegression(), label="c", task="regression")
+        with pytest.raises(ValueError, match="numeric"):
+            model.fit(frame)
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(ValueError, match="task"):
+            TabularModel(LinearRegression(), label="y", task="ranking")
+
+
+class TestRegressionComet:
+    def test_comet_improves_r2(self):
+        spec = SyntheticSpec(n_rows=300, n_numeric=4, n_categorical=0)
+        frame = synthesize_regression(spec, rng=1)
+        train_idx, test_idx = train_test_split(300, rng=0)
+        pre = PrePollution(["noise"], rng=4, scale=0.2)
+        polluted = pre.apply(
+            frame.take(train_idx), frame.take(test_idx), label="target"
+        )
+        comet = Comet(
+            polluted,
+            algorithm=LinearRegression(),
+            error_types=["noise"],
+            budget=8.0,
+            config=CometConfig(step=0.03),
+            rng=0,
+            task="regression",
+        )
+        trace = comet.run()
+        assert trace.records
+        # Cleaning injected noise on a linear target should help R².
+        assert trace.final_f1 >= trace.initial_f1 - 0.02

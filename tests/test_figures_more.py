@@ -1,0 +1,27 @@
+"""Smoke tests for the remaining figure-API wrappers (tiny parameters)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import figure3, figure4, figure6, figure8, figure9
+
+TINY = dict(n_rows=150, budget=2.0, step=0.05)
+
+
+@pytest.mark.parametrize(
+    "fn,kwargs,expected_methods",
+    [
+        (figure3, {"dataset": "cmc"}, {"fir", "rr", "cl"}),
+        (figure4, {"dataset": "cmc"}, {"ac"}),
+        (figure6, {"dataset": "titanic", "error": "missing"}, {"fir", "rr", "cl"}),
+        (figure8, {"dataset": "cmc", "error": "missing"}, {"ac"}),
+        (figure9, {"dataset": "credit", "error": "scaling"}, {"ac"}),
+    ],
+)
+def test_figure_wrappers(fn, kwargs, expected_methods):
+    lines, curves = fn(**kwargs, **TINY)
+    assert set(curves) == expected_methods
+    for curve in curves.values():
+        assert len(curve) == int(TINY["budget"]) + 1
+        assert np.isfinite(curve).all()
+    assert len(lines) == len(expected_methods)

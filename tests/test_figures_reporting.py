@@ -1,0 +1,63 @@
+"""Tests for the figures API and the ASCII plot renderer."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ascii_plot
+from repro.experiments.figures import figure5, figure10, figure11, figure12
+
+FAST = dict(n_rows=160, budget=3.0, step=0.04)
+
+
+class TestAsciiPlot:
+    def test_renders_all_curves(self):
+        grid = np.arange(5.0)
+        text = ascii_plot({"comet": grid / 4.0, "rr": 1.0 - grid / 4.0}, grid)
+        assert "*=comet" in text and "+=rr" in text
+        assert "budget" in text
+
+    def test_requires_curves(self):
+        with pytest.raises(ValueError):
+            ascii_plot({})
+
+    def test_rejects_unequal_lengths(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"a": [1.0, 2.0], "b": [1.0]})
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"a": [1.0]})
+
+    def test_flat_curve_ok(self):
+        text = ascii_plot({"a": [0.5, 0.5, 0.5]})
+        assert "*" in text
+
+
+class TestFiguresApi:
+    def test_figure5_shape(self):
+        lines, curves = figure5("cmc", error="missing", **FAST)
+        assert len(lines) == 3  # fir, rr, cl
+        assert set(curves) == {"fir", "rr", "cl"}
+        for curve in curves.values():
+            assert len(curve) == int(FAST["budget"]) + 1
+
+    def test_figure10_groups(self):
+        lines, data = figure10("cmc", n_rows=160, budget=2.0, step=0.04)
+        assert set(data["by_algorithm"]) == {
+            "gb", "knn", "mlp", "svm", "ac_svm", "lir", "lor"
+        }
+        assert set(data["by_error"]) == {"categorical", "noise", "missing", "scaling"}
+
+    def test_figure11_cells(self):
+        lines, cells = figure11(
+            grid=(("missing", "lor"),), n_rows=160, budget=2.0, step=0.04
+        )
+        assert len(cells) == 1
+        error, algorithm, mae = cells[0]
+        assert (error, algorithm) == ("missing", "lor")
+
+    def test_figure12_cells(self):
+        lines, cells = figure12(
+            algorithms=("lor",), errors=("missing",), n_rows=160, step=0.04
+        )
+        assert cells[("lor", "missing")] > 0.0

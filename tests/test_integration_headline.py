@@ -1,0 +1,59 @@
+"""Headline integration test: the paper's central claim at miniature scale.
+
+COMET's cleaning recommendations should, averaged over pre-pollution
+settings, yield at least the F1 of random recommendations for the same
+budget — and its Estimator's predictions should track realized F1.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    Configuration,
+    estimator_mae,
+    f1_advantage_curves,
+    run_configuration,
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    config = Configuration(
+        "eeg",
+        algorithm="lor",
+        error_types=("missing",),
+        n_rows=240,
+        budget=10.0,
+        step=0.03,
+        rr_repeats=3,
+    )
+    return config, run_configuration(
+        config, methods=("comet", "rr"), n_settings=3, seed=0
+    )
+
+
+def test_comet_not_worse_than_random_on_average(results):
+    config, traces = results
+    grid = np.arange(1.0, config.budget + 1.0)
+    advantage = f1_advantage_curves(traces, grid)["rr"]
+    assert advantage.mean() > -0.01
+
+
+def test_comet_improves_over_dirty_state(results):
+    __, traces = results
+    gains = [t.final_f1 - t.initial_f1 for t in traces["comet"]]
+    assert np.mean(gains) > 0.0
+
+
+def test_estimator_predictions_track_reality(results):
+    __, traces = results
+    mae = estimator_mae(traces["comet"])
+    assert np.isfinite(mae)
+    assert mae < 0.10
+
+
+def test_budget_strictly_respected(results):
+    config, traces = results
+    for method_traces in traces.values():
+        for trace in method_traces:
+            assert trace.total_spent <= config.budget + 1e-9

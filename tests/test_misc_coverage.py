@@ -1,0 +1,82 @@
+"""Remaining corner coverage: reporting internals, io inference, cost-model
+defaults, and mixed-error COMET sessions."""
+
+import numpy as np
+import pytest
+
+from repro import Comet, CometConfig, load_dataset, pollute
+from repro.cleaning import Budget, ConstantCost, CostModel
+from repro.core import session_report
+from repro.experiments import ascii_plot
+from repro.frame import read_csv
+
+
+class TestIoInference:
+    def test_all_numeric_strings_become_numeric(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a,b\n1,x\n2,y\n")
+        frame = read_csv(path)
+        assert frame["a"].is_numeric
+        assert frame["b"].is_categorical
+
+    def test_mixed_column_becomes_categorical(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a\n1\ntwo\n")
+        frame = read_csv(path)
+        assert frame["a"].is_categorical
+
+    def test_all_missing_column_is_categorical(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a,b\n,1\nNA,2\n")
+        frame = read_csv(path)
+        assert frame["a"].n_missing == 2
+
+
+class TestCostModelDefaults:
+    def test_unlisted_error_uses_default(self):
+        model = CostModel(by_error={}, default=ConstantCost(3.0))
+        assert model.next_cost("f", "anything") == 3.0
+
+    def test_budget_repr(self):
+        budget = Budget(10.0)
+        budget.charge(2.5)
+        assert "2.5" in repr(budget) and "10" in repr(budget)
+
+
+class TestAsciiPlotMarkers:
+    def test_many_curves_cycle_markers(self):
+        curves = {f"c{i}": np.linspace(0, i + 1, 5) for i in range(10)}
+        text = ascii_plot(curves)
+        assert "c9" in text  # all curves make it into the legend
+
+
+class TestMixedErrorSession:
+    def test_comet_with_inconsistent_and_missing(self):
+        dataset = load_dataset("s-credit", n_rows=180, rng=0)
+        polluted = pollute(
+            dataset, error_types=["missing", "inconsistent"], rng=7
+        )
+        comet = Comet(
+            polluted,
+            algorithm="lor",
+            error_types=["missing", "inconsistent"],
+            budget=4.0,
+            config=CometConfig(step=0.03),
+            rng=0,
+        )
+        trace = comet.run()
+        assert trace.records
+        report = session_report(trace, title="mixed errors")
+        assert "## Iterations" in report
+        assert "budget spent: 4" in report
+
+    def test_session_report_of_real_run_mentions_features(self):
+        dataset = load_dataset("eeg", n_rows=160, rng=0)
+        polluted = pollute(dataset, error_types=["missing"], rng=8)
+        comet = Comet(
+            polluted, algorithm="lor", error_types=["missing"],
+            budget=3.0, config=CometConfig(step=0.04), rng=0,
+        )
+        trace = comet.run()
+        report = session_report(trace)
+        assert any(r.feature in report for r in trace.records)

@@ -1,0 +1,111 @@
+"""Unit tests for repro.ml.metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ml import (
+    accuracy_score,
+    confusion_matrix,
+    f1_score,
+    mean_absolute_error,
+    precision_score,
+    recall_score,
+)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy_score([0, 1, 1], [0, 1, 1]) == 1.0
+
+    def test_half(self):
+        assert accuracy_score([0, 1], [0, 0]) == 0.5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            accuracy_score([], [])
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            accuracy_score([0, 1], [0])
+
+
+class TestPrecisionRecall:
+    def test_precision(self):
+        # predicted positive: indices 1,2 → one correct
+        assert precision_score([0, 1, 0], [0, 1, 1]) == 0.5
+
+    def test_recall(self):
+        # actual positives: indices 1,2 → one found
+        assert recall_score([0, 1, 1], [0, 1, 0]) == 0.5
+
+    def test_precision_no_predictions_is_zero(self):
+        assert precision_score([1, 1], [0, 0]) == 0.0
+
+    def test_recall_no_positives_is_zero(self):
+        assert recall_score([0, 0], [1, 1]) == 0.0
+
+
+class TestF1:
+    def test_perfect_binary(self):
+        assert f1_score([0, 1, 1, 0], [0, 1, 1, 0]) == 1.0
+
+    def test_known_value(self):
+        # precision = 1/2, recall = 1/2 → F1 = 1/2
+        assert f1_score([0, 1, 1], [1, 1, 0]) == pytest.approx(0.5)
+
+    def test_zero_when_no_overlap(self):
+        assert f1_score([1, 1], [0, 0]) == 0.0
+
+    def test_auto_macro_for_multiclass(self):
+        y = [0, 1, 2, 0, 1, 2]
+        assert f1_score(y, y) == 1.0
+
+    def test_macro_averages_per_class(self):
+        y_true = [0, 0, 1, 1]
+        y_pred = [0, 0, 0, 0]  # class 0: p=0.5, r=1 → 2/3; class 1: 0
+        assert f1_score(y_true, y_pred, average="macro") == pytest.approx(1.0 / 3.0)
+
+    def test_invalid_average_raises(self):
+        with pytest.raises(ValueError, match="average"):
+            f1_score([0, 1], [0, 1], average="weird")
+
+
+class TestConfusion:
+    def test_counts(self):
+        m = confusion_matrix([0, 0, 1, 1], [0, 1, 1, 1])
+        assert m.tolist() == [[1, 1], [0, 2]]
+
+    def test_explicit_n_classes(self):
+        m = confusion_matrix([0, 0], [0, 0], n_classes=3)
+        assert m.shape == (3, 3)
+
+
+class TestMae:
+    def test_known(self):
+        assert mean_absolute_error([1.0, 2.0], [2.0, 4.0]) == 1.5
+
+    def test_zero(self):
+        assert mean_absolute_error([1.0], [1.0]) == 0.0
+
+
+@given(
+    st.lists(st.integers(0, 1), min_size=1, max_size=60),
+    st.lists(st.integers(0, 1), min_size=1, max_size=60),
+)
+def test_f1_bounded(a, b):
+    n = min(len(a), len(b))
+    score = f1_score(np.array(a[:n]), np.array(b[:n]))
+    assert 0.0 <= score <= 1.0
+
+
+@given(st.lists(st.integers(0, 3), min_size=1, max_size=60))
+def test_f1_of_identical_vectors_is_one(y):
+    assert f1_score(np.array(y), np.array(y)) == 1.0
+
+
+@given(st.lists(st.integers(0, 2), min_size=2, max_size=60))
+def test_confusion_matrix_total_equals_n(y):
+    y = np.array(y)
+    pred = np.roll(y, 1)
+    assert confusion_matrix(y, pred).sum() == len(y)

@@ -1,0 +1,154 @@
+"""Edge-case tests: SGD updates of the convex learners, degenerate inputs,
+and preprocessing corner cases the main suites don't reach."""
+
+import numpy as np
+import pytest
+
+from repro.frame import Column, ColumnKind, DataFrame
+from repro.ml import (
+    LinearRegression,
+    LinearRegressionClassifier,
+    LinearSVC,
+    LogisticRegression,
+    TabularPreprocessor,
+    f1_score,
+)
+
+
+def _blobs(n=200, d=3, seed=0, sep=2.5):
+    rng = np.random.default_rng(seed)
+    y = rng.integers(0, 2, size=n)
+    centers = np.array([[-sep / 2] * d, [sep / 2] * d])
+    return centers[y] + rng.normal(size=(n, d)), y
+
+
+class TestSgdSteps:
+    """ActiveClean's model updates: one gradient step must reduce the loss
+    on the batch it was computed from (for a small enough step)."""
+
+    def test_logistic_sgd_step_reduces_nll(self):
+        X, y = _blobs(seed=1)
+        model = LogisticRegression(max_iter=3).fit(X, y)
+
+        def nll():
+            probs = model.predict_proba(X)
+            return -np.mean(np.log(probs[np.arange(len(y)), y] + 1e-12))
+
+        before = nll()
+        model.sgd_step(X, y, lr=0.1)
+        assert nll() < before
+
+    def test_svm_sgd_step_reduces_hinge(self):
+        X, y = _blobs(seed=2)
+        model = LinearSVC(max_iter=2).fit(X, y)
+
+        def hinge():
+            scores = model.decision_function(X)
+            total = 0.0
+            for j, cls in enumerate(model.classes_):
+                target = np.where(y == cls, 1.0, -1.0)
+                total += np.mean(np.maximum(0.0, 1.0 - target * scores[:, j]) ** 2)
+            return total
+
+        before = hinge()
+        model.sgd_step(X, y, lr=0.05)
+        assert hinge() < before
+
+    def test_lir_sgd_step_reduces_squared_loss(self):
+        X, y = _blobs(seed=3)
+        model = LinearRegressionClassifier(alpha=10.0).fit(X, y)
+
+        def sse():
+            scores = model.decision_function(X)
+            onehot = np.zeros_like(scores)
+            onehot[np.arange(len(y)), y] = 1.0
+            return float(np.sum((scores - onehot) ** 2))
+
+        before = sse()
+        model.sgd_step(X, y, lr=0.05)
+        assert sse() < before
+
+    def test_sgd_step_changes_predictions_eventually(self):
+        X, y = _blobs(seed=4)
+        model = LogisticRegression().fit(X, y)
+        flipped = 1 - y  # adversarial batch
+        for __ in range(50):
+            model.sgd_step(X, flipped, lr=0.5)
+        assert f1_score(flipped, model.predict(X)) > 0.5
+
+
+class TestLinearRegressionDetails:
+    def test_multi_output(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(100, 2))
+        Y = np.column_stack([X[:, 0] * 2.0, X[:, 1] - 1.0])
+        model = LinearRegression(alpha=1e-6).fit(X, Y)
+        pred = model.predict(X)
+        assert pred.shape == (100, 2)
+        assert np.allclose(pred, Y, atol=1e-6)
+
+    def test_bias_not_penalized(self):
+        X = np.zeros((50, 1))
+        y = np.full(50, 7.0)
+        model = LinearRegression(alpha=100.0).fit(X, y)
+        assert model.predict(np.zeros((1, 1)))[0] == pytest.approx(7.0)
+
+
+class TestDegenerateInputs:
+    def test_logistic_single_feature(self):
+        X = np.linspace(-1, 1, 60)[:, None]
+        y = (X[:, 0] > 0).astype(int)
+        model = LogisticRegression().fit(X, y)
+        assert f1_score(y, model.predict(X)) > 0.95
+
+    def test_svm_duplicate_rows(self):
+        X = np.ones((30, 2))
+        X[15:] = -1.0
+        y = np.array([0] * 15 + [1] * 15)
+        model = LinearSVC().fit(X, y)
+        assert (model.predict(X) == y).all()
+
+    def test_classifier_empty_raises(self):
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(np.zeros((0, 2)), np.zeros(0, dtype=int))
+
+
+class TestPreprocessingCorners:
+    def test_all_missing_numeric_column(self):
+        frame = DataFrame(
+            {"x": [np.nan, np.nan, np.nan], "y": [1.0, 2.0, 3.0]}
+        )
+        X = TabularPreprocessor(["x", "y"]).fit_transform(frame)
+        assert np.isfinite(X).all()
+        assert np.allclose(X[:, 0], 0.0)  # imputed to mean 0, scaled to 0
+
+    def test_all_missing_categorical_column(self):
+        frame = DataFrame(
+            {
+                "c": Column("c", np.array([None, None], dtype=object),
+                            kind=ColumnKind.CATEGORICAL),
+                "y": Column("y", [1.0, 2.0]),
+            }
+        )
+        X = TabularPreprocessor(["c", "y"]).fit_transform(frame)
+        assert np.isfinite(X).all()
+
+    def test_transform_unseen_rows(self):
+        train = DataFrame({"c": ["a", "b"], "x": [1.0, 2.0]})
+        test = DataFrame({"c": ["z", "a"], "x": [3.0, np.nan]})
+        prep = TabularPreprocessor(["c", "x"]).fit(train)
+        X = prep.transform(test)
+        assert X.shape[0] == 2
+        assert np.isfinite(X).all()
+
+    def test_categorical_numbers_as_strings_stay_categorical(self):
+        frame = DataFrame(
+            {
+                "c": Column("c", np.array(["1", "2", "1"], dtype=object),
+                            kind=ColumnKind.CATEGORICAL),
+                "x": [0.0, 1.0, 2.0],
+            }
+        )
+        prep = TabularPreprocessor(["c", "x"]).fit(frame)
+        assert prep.categorical_names_ == ["c"]
+        assert prep.n_output_features() == 3  # 2 one-hot + 1 numeric

@@ -1,0 +1,169 @@
+"""Property-based tests on the core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cleaning import Budget, CostModel, GroundTruthCleaner, LinearCost, OneShotCost, paper_cost_model
+from repro.core.trace import CleaningTrace, IterationRecord
+from repro.errors import DirtyCells, MissingValues, Polluter, PrePollution, make_error
+from repro.frame import DataFrame
+from repro.ml.preprocessing import TabularPreprocessor
+
+
+# --------------------------------------------------------------------- #
+# DirtyCells
+# --------------------------------------------------------------------- #
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["add", "remove"]),
+                  st.sampled_from(["f", "g"]),
+                  st.sampled_from(["missing", "noise"]),
+                  st.lists(st.integers(0, 30), max_size=8)),
+        max_size=30,
+    )
+)
+def test_dirty_cells_counts_consistent(operations):
+    cells = DirtyCells()
+    shadow: dict[tuple[str, str], set[int]] = {}
+    for op, feature, error, rows in operations:
+        key = (feature, error)
+        if op == "add":
+            cells.add(feature, error, rows)
+            shadow.setdefault(key, set()).update(rows)
+        else:
+            cells.remove(feature, error, rows)
+            if key in shadow:
+                shadow[key] -= set(rows)
+    for (feature, error), expected in shadow.items():
+        assert cells.dirty_count(feature, error) == len(expected)
+        assert set(cells.rows(feature, error).tolist()) == expected
+    assert cells.total() == sum(len(v) for v in shadow.values())
+    assert cells.is_clean() == (cells.total() == 0)
+
+
+# --------------------------------------------------------------------- #
+# Budget and cost models
+# --------------------------------------------------------------------- #
+@given(st.lists(st.floats(0.0, 5.0), max_size=30), st.floats(1.0, 100.0))
+def test_budget_never_overspends(charges, total):
+    budget = Budget(total)
+    for price in charges:
+        if budget.can_afford(price):
+            budget.charge(price)
+    assert budget.spent <= budget.total + 1e-6
+    assert budget.remaining == pytest.approx(budget.total - budget.spent)
+
+
+@given(st.integers(0, 20))
+def test_linear_cost_strictly_increasing(steps_done):
+    fn = LinearCost(1.0, 1.0)
+    assert fn.cost(steps_done + 1) > fn.cost(steps_done)
+
+
+@given(st.integers(1, 20))
+def test_one_shot_cost_only_first(steps_done):
+    fn = OneShotCost(2.0, 0.0)
+    assert fn.cost(steps_done) == 0.0
+    assert fn.cost(0) == 2.0
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["a", "b"]), st.sampled_from(["missing", "noise", "scaling"])),
+        max_size=20,
+    )
+)
+def test_cost_model_total_matches_sum_of_recorded(steps):
+    model = paper_cost_model()
+    total = 0.0
+    for feature, error in steps:
+        expected = model.next_cost(feature, error)
+        paid = model.record_step(feature, error)
+        assert paid == expected
+        total += paid
+    # Replaying against a fresh model gives the same total.
+    fresh = paper_cost_model()
+    replay = sum(fresh.record_step(f, e) for f, e in steps)
+    assert replay == pytest.approx(total)
+
+
+# --------------------------------------------------------------------- #
+# CleaningTrace
+# --------------------------------------------------------------------- #
+@given(
+    st.lists(st.tuples(st.floats(0.1, 5.0), st.floats(0.0, 1.0)), min_size=0, max_size=15),
+    st.floats(0.0, 1.0),
+)
+def test_trace_f1_at_is_piecewise_from_recorded_values(spends, initial):
+    trace = CleaningTrace(initial_f1=initial)
+    cumulative = 0.0
+    for i, (cost, f1) in enumerate(spends, start=1):
+        cumulative += cost
+        trace.append(
+            IterationRecord(
+                iteration=i, feature="f", error="missing", cost=cost,
+                budget_spent=cumulative, f1_before=initial, f1_after=f1,
+            )
+        )
+    grid = np.linspace(0.0, cumulative + 1.0, 13)
+    values = trace.f1_at(grid)
+    allowed = {initial} | {f1 for __, f1 in spends}
+    assert all(any(v == pytest.approx(a) for a in allowed) for v in values)
+    # The value at the final spend equals the last record's F1.
+    if spends:
+        assert trace.f1_at([cumulative])[0] == pytest.approx(spends[-1][1])
+
+
+# --------------------------------------------------------------------- #
+# Polluter / Cleaner round trips
+# --------------------------------------------------------------------- #
+def _dataset(seed):
+    rng = np.random.default_rng(seed)
+    def make(n, s):
+        r = np.random.default_rng(s)
+        return DataFrame({
+            "a": r.normal(size=n),
+            "b": r.choice(["x", "y", "z"], size=n),
+            "label": r.integers(0, 2, size=n),
+        })
+    pre = PrePollution([MissingValues()], rng=seed)
+    return pre.apply(make(80, seed + 1), make(40, seed + 2), label="label",
+                     levels={"a": 0.1, "b": 0.1})
+
+
+@given(st.integers(0, 1000))
+@settings(max_examples=15, deadline=None)
+def test_clean_then_revert_is_identity(seed):
+    dataset = _dataset(seed)
+    cleaner = GroundTruthCleaner(step=0.05, rng=seed)
+    train_before = dataset.train.copy()
+    test_before = dataset.test.copy()
+    dirt_before = dataset.dirty_train.total() + dataset.dirty_test.total()
+    action = cleaner.clean_step(dataset, "a", "missing")
+    cleaner.revert(dataset, action)
+    assert dataset.train == train_before
+    assert dataset.test == test_before
+    assert dataset.dirty_train.total() + dataset.dirty_test.total() == dirt_before
+
+
+@given(st.integers(0, 1000))
+@settings(max_examples=15, deadline=None)
+def test_revert_then_apply_equals_clean(seed):
+    dataset = _dataset(seed)
+    cleaner = GroundTruthCleaner(step=0.05, rng=seed)
+    action = cleaner.clean_step(dataset, "a", "missing")
+    after = dataset.train["a"].copy()
+    cleaner.revert(dataset, action)
+    cleaner.apply(dataset, action)
+    assert dataset.train["a"] == after
+
+
+@given(st.integers(0, 1000), st.sampled_from(["missing", "noise", "scaling"]))
+@settings(max_examples=15, deadline=None)
+def test_pollution_then_preprocessing_stays_finite(seed, error_name):
+    dataset = _dataset(seed)
+    polluter = Polluter(make_error(error_name), step=0.2, rng=seed)
+    polluted, __ = polluter.pollute_once(dataset.train, "a")
+    X = TabularPreprocessor(["a", "b"]).fit(polluted).transform(polluted)
+    assert np.isfinite(X).all()

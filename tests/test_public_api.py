@@ -1,0 +1,59 @@
+"""The public API surface: everything advertised in ``__all__`` exists,
+imports cleanly, and the README quickstart snippet runs."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+PACKAGES = [
+    "repro",
+    "repro.frame",
+    "repro.ml",
+    "repro.bayes",
+    "repro.explain",
+    "repro.errors",
+    "repro.cleaning",
+    "repro.detect",
+    "repro.core",
+    "repro.baselines",
+    "repro.datasets",
+    "repro.experiments",
+]
+
+
+class TestApiSurface:
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_all_exports_resolve(self, name):
+        module = importlib.import_module(name)
+        assert hasattr(module, "__all__"), f"{name} must declare __all__"
+        for symbol in module.__all__:
+            assert hasattr(module, symbol), f"{name}.{symbol} missing"
+
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_module_docstrings(self, name):
+        module = importlib.import_module(name)
+        assert module.__doc__, f"{name} needs a module docstring"
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+
+class TestReadmeQuickstart:
+    def test_quickstart_snippet(self):
+        """The exact flow from README.md (scaled down for test speed)."""
+        from repro import Comet, CometConfig, load_dataset, pollute
+
+        dataset = load_dataset("cmc", n_rows=150)
+        polluted = pollute(dataset, error_types=["missing"], rng=7)
+        comet = Comet(
+            polluted, algorithm="svm", error_types=["missing"],
+            budget=2.0, config=CometConfig(step=0.04), rng=0,
+        )
+        trace = comet.run()
+        assert 0.0 <= trace.initial_f1 <= 1.0
+        assert 0.0 <= trace.final_f1 <= 1.0
+        for record in trace.records:
+            assert record.feature in polluted.feature_names

@@ -1,0 +1,56 @@
+"""Tests for the markdown session report."""
+
+import pytest
+
+from repro.core import CleaningTrace, IterationRecord, session_report
+
+
+def _trace():
+    trace = CleaningTrace(initial_f1=0.50)
+    trace.append(IterationRecord(
+        iteration=1, feature="income", error="missing", cost=2.0,
+        budget_spent=2.0, f1_before=0.50, f1_after=0.55, predicted_f1=0.56,
+    ))
+    trace.append(IterationRecord(
+        iteration=2, feature="age", error="noise", cost=1.0,
+        budget_spent=3.0, f1_before=0.55, f1_after=0.57, predicted_f1=0.58,
+        used_fallback=True, rejected=[("income", "missing")],
+    ))
+    trace.append(IterationRecord(
+        iteration=3, feature="income", error="missing", cost=0.0,
+        budget_spent=3.0, f1_before=0.57, f1_after=0.60, from_buffer=True,
+    ))
+    return trace
+
+
+class TestSessionReport:
+    def test_contains_summary_numbers(self):
+        text = session_report(_trace())
+        assert "0.5000 → 0.6000" in text
+        assert "budget spent: 3" in text
+        assert "fallbacks: 1" in text
+        assert "buffer replays: 1" in text
+        assert "reverted attempts: 1" in text
+
+    def test_iteration_rows_present(self):
+        text = session_report(_trace())
+        assert "| 1 | income | missing | 2 |" in text
+        assert "reverted: income/missing" in text
+
+    def test_allocation_sorted_by_cost(self):
+        text = session_report(_trace())
+        assert "by feature: income=2, age=1" in text
+        assert "by error type: missing=2, noise=1" in text
+
+    def test_prediction_mae(self):
+        text = session_report(_trace())
+        assert "prediction MAE: 0.0100" in text  # (|0.01| + |0.01|) / 2
+
+    def test_empty_trace(self):
+        text = session_report(CleaningTrace(initial_f1=0.7), title="Empty")
+        assert text.startswith("# Empty")
+        assert "cleaning steps kept: 0" in text
+        assert "## Iterations" not in text
+
+    def test_custom_title(self):
+        assert session_report(_trace(), title="My run").startswith("# My run")

@@ -1,0 +1,67 @@
+"""Round-trip tests for trace persistence (to_dict/from_dict, save/load)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import CleaningTrace, IterationRecord
+
+
+def _trace():
+    trace = CleaningTrace(initial_f1=0.42)
+    trace.append(IterationRecord(
+        iteration=1, feature="income", error="missing", cost=2.0,
+        budget_spent=2.0, f1_before=0.42, f1_after=0.50, predicted_f1=0.51,
+        used_fallback=False, from_buffer=False,
+        rejected=[("age", "noise"), ("city", "categorical")],
+    ))
+    trace.append(IterationRecord(
+        iteration=2, feature="age", error="noise", cost=1.0,
+        budget_spent=3.0, f1_before=0.50, f1_after=0.49,
+        used_fallback=True, reverted=False,
+    ))
+    return trace
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        original = _trace()
+        rebuilt = CleaningTrace.from_dict(original.to_dict())
+        assert rebuilt.initial_f1 == original.initial_f1
+        assert len(rebuilt.records) == 2
+        assert rebuilt.records[0].rejected == [("age", "noise"), ("city", "categorical")]
+        assert rebuilt.records[1].used_fallback
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "trace.json"
+        original = _trace()
+        original.save(path)
+        rebuilt = CleaningTrace.load(path)
+        grid = np.arange(0.0, 4.0)
+        assert rebuilt.f1_at(grid).tolist() == original.f1_at(grid).tolist()
+        assert rebuilt.prediction_errors() == original.prediction_errors()
+
+    def test_empty_trace_round_trip(self, tmp_path):
+        path = tmp_path / "empty.json"
+        CleaningTrace(initial_f1=0.9).save(path)
+        rebuilt = CleaningTrace.load(path)
+        assert rebuilt.initial_f1 == 0.9
+        assert rebuilt.records == []
+
+    @given(
+        st.floats(0.0, 1.0),
+        st.lists(st.tuples(st.floats(0.1, 3.0), st.floats(0.0, 1.0)), max_size=10),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_round_trip_preserves_curve(self, initial, steps):
+        trace = CleaningTrace(initial_f1=initial)
+        spent = 0.0
+        for i, (cost, f1) in enumerate(steps, start=1):
+            spent += cost
+            trace.append(IterationRecord(
+                iteration=i, feature="f", error="missing", cost=cost,
+                budget_spent=spent, f1_before=initial, f1_after=f1,
+            ))
+        rebuilt = CleaningTrace.from_dict(trace.to_dict())
+        grid = np.linspace(0.0, spent + 1.0, 7)
+        assert rebuilt.f1_at(grid).tolist() == trace.f1_at(grid).tolist()
