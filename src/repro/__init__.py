@@ -21,6 +21,7 @@ from repro.core import CleaningTrace, Comet, CometConfig
 from repro.datasets import dataset_summaries, load_dataset, pollute
 from repro.errors import PollutedDataset, Polluter, PrePollution
 from repro.frame import Column, DataFrame
+from repro.runtime import available_backends, make_backend
 
 __version__ = "1.0.0"
 
@@ -40,5 +41,7 @@ __all__ = [
     "load_dataset",
     "pollute",
     "dataset_summaries",
+    "make_backend",
+    "available_backends",
     "__version__",
 ]

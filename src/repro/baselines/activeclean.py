@@ -73,29 +73,27 @@ class ActiveClean(BaseCleaningStrategy):
     # ------------------------------------------------------------------ #
     def _pretrain(self) -> None:
         """Fit the initial model on the already-clean train records."""
-        from repro.ml.base import clone
         from repro.ml.preprocessing import TabularPreprocessor
 
         dirty_rows = self._dirty_rows(self.dataset.dirty_train)
         clean_rows = np.setdiff1d(np.arange(self.dataset.train.n_rows), dirty_rows)
         y = self.dataset.train.label_array(self.dataset.label)
-        model = TabularModel(self.model, label=self.dataset.label)
-        model.features_ = self.dataset.feature_names
         # The preprocessor must know the full frame (all categories, full
         # scaling statistics) even when the classifier only sees the clean
-        # subset, so later transforms stay dimension-compatible.
-        model.preprocessor_ = TabularPreprocessor(model.features_).fit(
-            self.dataset.train
+        # subset, so later transforms stay dimension-compatible; the model
+        # reuses it pre-fit instead of refitting on the training subset.
+        model = TabularModel(
+            self.model,
+            label=self.dataset.label,
+            preprocessor=TabularPreprocessor(self.dataset.feature_names).fit(
+                self.dataset.train
+            ),
         )
-        model.model_ = clone(self.model)
         # Pre-training needs every class present; fall back to all records.
         if clean_rows.size >= 10 and len(np.unique(y[clean_rows])) == len(np.unique(y)):
-            X = model.preprocessor_.transform(self.dataset.train.take(clean_rows))
-            model.model_.fit(X, y[clean_rows])
+            model.fit(self.dataset.train.take(clean_rows))
         else:
-            model.model_.fit(
-                model.preprocessor_.transform(self.dataset.train), y
-            )
+            model.fit(self.dataset.train)
         self._fitted = model
 
     @staticmethod

@@ -28,6 +28,7 @@ from repro.experiments import (
     run_method,
 )
 from repro.ml import available_algorithms
+from repro.runtime import available_backends
 
 __all__ = ["main", "build_parser"]
 
@@ -73,6 +74,15 @@ def _common_args(parser: argparse.ArgumentParser) -> None:
         "--costs", choices=("uniform", "paper"), default="uniform",
         help="cost model: uniform (single-error §4.2) or paper (multi-error)",
     )
+    parser.add_argument(
+        "--backend", choices=available_backends(), default="serial",
+        help="execution backend for the estimation sweep "
+             "(results are identical across backends for a fixed seed)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker count for pooled backends (1 = serial)",
+    )
 
 
 def _configuration(args: argparse.Namespace) -> Configuration:
@@ -84,6 +94,8 @@ def _configuration(args: argparse.Namespace) -> Configuration:
         budget=args.budget,
         step=args.step,
         cost_model=args.costs,
+        backend=args.backend,
+        jobs=args.jobs,
     )
 
 
@@ -93,6 +105,7 @@ def _cmd_list() -> int:
     print(f"\nalgorithms: {', '.join(available_algorithms())}")
     print(f"error types: {', '.join(sorted(error_registry()))}")
     print(f"methods: {', '.join(METHOD_NAMES)}")
+    print(f"backends: {', '.join(available_backends())}")
     return 0
 
 
@@ -114,7 +127,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_recommend(args: argparse.Namespace) -> int:
     config = _configuration(args)
     polluted = build_polluted(config, seed=args.seed)
-    comet = Comet(
+    with Comet(
         polluted,
         algorithm=config.algorithm,
         error_types=list(config.error_types),
@@ -122,12 +135,15 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
         cost_model=config.make_cost_model(),
         config=CometConfig(step=config.step),
         rng=args.seed,
-    )
-    candidates = comet.recommend(k=args.k)
-    if not candidates:
-        print("no candidate is predicted to improve the model")
-        return 0
-    print(f"current F1: {comet.estimator_measure_baseline():.3f}")
+        backend=args.backend,
+        jobs=args.jobs,
+    ) as comet:
+        candidates = comet.recommend(k=args.k)
+        if not candidates:
+            print("no candidate is predicted to improve the model")
+            return 0
+        baseline = comet.measure_baseline()
+    print(f"current F1: {baseline:.3f}")
     print(f"{'rank':>4s} {'feature':10s} {'error':12s} "
           f"{'pred. F1':>9s} {'+/-':>6s} {'cost':>5s} {'score':>7s}")
     for rank, c in enumerate(candidates, start=1):

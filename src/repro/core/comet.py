@@ -11,6 +11,8 @@ marked every candidate clean.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro.cleaning import (
@@ -31,6 +33,7 @@ from repro.ml.model_selection import RandomSearch
 from repro.ml.pipeline import TabularModel
 from repro.ml.preprocessing import TabularPreprocessor
 from repro.ml.registry import hyperparameter_space, make_classifier
+from repro.runtime import ExecutionBackend, make_backend
 
 __all__ = ["Comet"]
 
@@ -61,6 +64,15 @@ class Comet:
         ground-truth simulation used in the paper's experiments; pass a
         :class:`~repro.detect.AlgorithmicCleaner` for a fully automatic
         detect-and-impute pipeline.
+    backend:
+        Execution backend for the Estimator's E1 sweep: a registry name
+        (``"serial"``, ``"thread"``, ``"process"``) or an
+        :class:`~repro.runtime.ExecutionBackend` instance. Traces are
+        bit-identical across backends for a fixed ``rng`` (the
+        ``repro.runtime`` determinism contract); the backend is purely a
+        throughput knob.
+    jobs:
+        Worker count for pooled backends; ``1`` falls back to serial.
     """
 
     def __init__(
@@ -74,6 +86,8 @@ class Comet:
         rng: np.random.Generator | int | None = None,
         task: str = "classification",
         cleaner=None,
+        backend: str | ExecutionBackend = "serial",
+        jobs: int = 1,
     ) -> None:
         self.config = config or CometConfig()
         self.task = task
@@ -99,6 +113,7 @@ class Comet:
         )
         self.buffer = CleaningBuffer()
         self.recommender = CometRecommender(self.config)
+        self.backend = make_backend(backend, jobs)
         if self.config.search_iterations > 0 and isinstance(algorithm, str):
             self._tune_model()
         self.estimator = CometEstimator(
@@ -184,6 +199,20 @@ class Comet:
         """True once the budget is spent or nothing is left to clean."""
         return not self._active or self.budget.exhausted()
 
+    def close(self) -> None:
+        """Release the execution backend's worker pool (if any).
+
+        Safe to call repeatedly; the session stays usable afterwards
+        (pooled backends restart lazily on the next sweep).
+        """
+        self.backend.shutdown()
+
+    def __enter__(self) -> "Comet":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def open_candidates(self) -> list[tuple[str, str]]:
         """(feature, error) pairs the Cleaner has not yet marked clean."""
         return list(self._active)
@@ -193,28 +222,36 @@ class Comet:
     # ------------------------------------------------------------------ #
     def _baseline(self) -> float:
         if self._current_f1 is None:
-            self._current_f1 = self.estimator_measure_baseline()
+            self._current_f1 = self.measure_baseline()
         return self._current_f1
 
-    def estimator_measure_baseline(self) -> float:
+    def measure_baseline(self) -> float:
         """Fit on the current train split and score the test split."""
         model = TabularModel(self.model, label=self.dataset.label, task=self.task)
         return model.fit_score(self.dataset.train, self.dataset.test)
 
+    def estimator_measure_baseline(self) -> float:
+        """Deprecated alias for :meth:`measure_baseline`."""
+        warnings.warn(
+            "Comet.estimator_measure_baseline is deprecated; "
+            "use Comet.measure_baseline",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.measure_baseline()
+
     def _estimate_candidates(self, baseline: float) -> list[Prediction]:
-        predictions = []
-        for feature, error_name in self._active:
-            error = self._error_by_name[error_name]
-            predictions.append(
-                self.estimator.estimate(
-                    self.dataset.train,
-                    self.dataset.test,
-                    feature,
-                    error,
-                    baseline,
-                )
-            )
-        return predictions
+        candidates = [
+            (feature, self._error_by_name[error_name])
+            for feature, error_name in self._active
+        ]
+        return self.estimator.estimate_many(
+            self.dataset.train,
+            self.dataset.test,
+            candidates,
+            baseline,
+            backend=self.backend,
+        )
 
     def _try_candidates(
         self, ranked: list[ScoredCandidate], baseline: float, max_accepts: int = 1
@@ -234,7 +271,7 @@ class Comet:
             if not from_buffer and not self.budget.can_afford(candidate.cost):
                 continue
             cost = self._perform_cleaning(candidate.feature, candidate.error, candidate.prediction)
-            f1_after = self.estimator_measure_baseline()
+            f1_after = self.measure_baseline()
             self.estimator.record_outcome(candidate.prediction, f1_after)
             self.recommender.record_outcome(candidate.feature, candidate.error, f1_after)
             if f1_after >= baseline - 1e-12 or not self.config.revert_on_decrease:
@@ -280,7 +317,7 @@ class Comet:
             (p for p in predictions if (p.feature, p.error) == pair), None
         )
         cost = self._perform_cleaning(feature, error_name, prediction)
-        f1_after = self.estimator_measure_baseline()
+        f1_after = self.measure_baseline()
         if prediction is not None:
             self.estimator.record_outcome(prediction, f1_after)
         self.recommender.record_outcome(feature, error_name, f1_after)
@@ -317,7 +354,9 @@ class Comet:
     def _revert_last(self, pair: tuple[str, str]) -> None:
         self.cleaner.revert(self.dataset, self._last_action)
         self.buffer.put(self._last_action)
-        self._current_f1 = None  # state changed back; re-measure lazily
+        # The revert restores exactly the data state `_current_f1` was
+        # measured on (rejected trials never overwrite the memo — only
+        # `_accept` does), so the cached baseline stays valid.
 
     def _accept(self, pair: tuple[str, str], f1_after: float) -> None:
         self._current_f1 = f1_after

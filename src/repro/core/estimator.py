@@ -21,8 +21,39 @@ from repro.errors.polluter import Polluter
 from repro.frame import DataFrame
 from repro.ml.base import BaseEstimator
 from repro.ml.pipeline import TabularModel
+from repro.runtime import (
+    ExecutionBackend,
+    FitScoreTask,
+    SerialBackend,
+    run_fit_score_task,
+)
 
 __all__ = ["CometEstimator", "Prediction"]
+
+
+@dataclass
+class _CandidateTasks:
+    """E1 work for one (feature, error) candidate: tasks + bookkeeping."""
+
+    feature: str
+    error: ErrorType
+    #: Fit-score tasks, one per (combination, pollution step).
+    tasks: list[FitScoreTask]
+    #: Pollution level of each task, aligned with ``tasks``.
+    levels: list[float]
+    #: Train rows the Polluter touched (union over combinations).
+    polluted_rows: np.ndarray
+
+
+def _assemble_curve(
+    group: _CandidateTasks, fit_scores: list, baseline_f1: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """(levels, scores) for one candidate, with level 0 carrying the
+    baseline — the single place the E1 curve is put together, so serial
+    and batched dispatch can never drift apart."""
+    levels = np.asarray([0.0] + group.levels)
+    scores = np.asarray([baseline_f1] + list(fit_scores))
+    return levels, scores
 
 
 @dataclass
@@ -69,30 +100,31 @@ class CometEstimator:
         model = TabularModel(self.estimator, label=self.label, task=self.task)
         return model.fit_score(train, test)
 
-    def measure_pollution_curve(
+    def build_candidate_tasks(
         self,
         train: DataFrame,
         test: DataFrame,
         feature: str,
         error: ErrorType,
-        baseline_f1: float,
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Measure F1 at increasing pollution of ``feature`` (E1).
+    ) -> _CandidateTasks:
+        """Materialize one candidate's E1 sweep as picklable fit-score tasks.
 
-        Train and test are polluted separately (same levels, independent
-        cells) to avoid leakage, per §3.1. Returns (levels, scores,
-        polluted train rows), where level 0 carries the baseline.
+        All randomness happens here, in the calling thread: the per-
+        combination Polluter streams are spawned from the Estimator's RNG
+        (independent child streams for the train and test split, so the
+        splits are polluted separately at the same levels without
+        leakage, per §3.1) and every polluted data state is produced up
+        front. The returned tasks are pure fit-and-score closures over
+        frozen frames — a backend may run them in any order or process.
         """
         cfg = self.config
-        levels = [0.0]
-        scores = [baseline_f1]
+        tasks: list[FitScoreTask] = []
+        levels: list[float] = []
         touched: list[np.ndarray] = []
         for __ in range(cfg.n_combinations):
-            seed = self._rng.integers(2**63)
-            train_polluter = Polluter(error, step=cfg.step, rng=np.random.default_rng(seed))
-            test_polluter = Polluter(
-                error, step=cfg.step, rng=np.random.default_rng(seed + 1)
-            )
+            train_rng, test_rng = self._rng.spawn(2)
+            train_polluter = Polluter(error, step=cfg.step, rng=train_rng)
+            test_polluter = Polluter(error, step=cfg.step, rng=test_rng)
             train_states = train_polluter.incremental_states(
                 train, feature, n_steps=cfg.n_pollution_steps
             )[0]
@@ -100,13 +132,46 @@ class CometEstimator:
                 test, feature, n_steps=cfg.n_pollution_steps
             )[0]
             for train_state, test_state in zip(train_states, test_states):
-                model = TabularModel(self.estimator, label=self.label, task=self.task)
-                f1 = model.fit_score(train_state.frame, test_state.frame)
+                tasks.append(
+                    FitScoreTask(
+                        estimator=self.estimator,
+                        label=self.label,
+                        train=train_state.frame,
+                        test=test_state.frame,
+                        task=self.task,
+                        tag=(feature, error.name, train_state.level),
+                    )
+                )
                 levels.append(train_state.level)
-                scores.append(f1)
             touched.append(train_states[-1].rows)
-        polluted_rows = np.unique(np.concatenate(touched)) if touched else np.array([], int)
-        return np.asarray(levels), np.asarray(scores), polluted_rows
+        polluted_rows = (
+            np.unique(np.concatenate(touched)) if touched else np.array([], int)
+        )
+        return _CandidateTasks(feature, error, tasks, levels, polluted_rows)
+
+    def measure_pollution_curve(
+        self,
+        train: DataFrame,
+        test: DataFrame,
+        feature: str,
+        error: ErrorType,
+        baseline_f1: float,
+        backend: ExecutionBackend | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Measure F1 at increasing pollution of ``feature`` (E1).
+
+        Train and test are polluted separately (same levels, independent
+        cells) to avoid leakage, per §3.1. Returns (levels, scores,
+        polluted train rows), where level 0 carries the baseline. The
+        model fits run through ``backend`` when given, inline otherwise.
+        """
+        candidate = self.build_candidate_tasks(train, test, feature, error)
+        if backend is not None:
+            fit_scores = backend.map(run_fit_score_task, candidate.tasks)
+        else:
+            fit_scores = [run_fit_score_task(t) for t in candidate.tasks]
+        levels, scores = _assemble_curve(candidate, fit_scores, baseline_f1)
+        return levels, scores, candidate.polluted_rows
 
     # ------------------------------------------------------------------ #
     # E2: predictive model construction
@@ -148,12 +213,57 @@ class CometEstimator:
         feature: str,
         error: ErrorType,
         baseline_f1: float,
+        backend: ExecutionBackend | None = None,
     ) -> Prediction:
         """E1 followed by E2 for one candidate."""
         levels, scores, rows = self.measure_pollution_curve(
-            train, test, feature, error, baseline_f1
+            train, test, feature, error, baseline_f1, backend=backend
         )
         return self.predict_cleaning(feature, error, levels, scores, rows)
+
+    def estimate_many(
+        self,
+        train: DataFrame,
+        test: DataFrame,
+        candidates: list[tuple[str, ErrorType]],
+        baseline_f1: float,
+        backend: ExecutionBackend | None = None,
+    ) -> list[Prediction]:
+        """E1 + E2 for a whole candidate sweep in one batched dispatch.
+
+        Builds candidate task lists in candidate order (the same RNG
+        draws a sequence of :meth:`estimate` calls would make). On a
+        pooled backend the whole sweep is materialized and dispatched as
+        one flat task list — peak memory holds every polluted state at
+        once, the price of cross-candidate parallelism. Serially, each
+        candidate's states are built, scored, and discarded in turn, so
+        memory matches the pre-batching loop. Either way the RNG
+        consumption and results are bit-identical; see ``repro.runtime``
+        for the contract.
+        """
+        if backend is None or isinstance(backend, SerialBackend):
+            return [
+                self.estimate(train, test, feature, error, baseline_f1)
+                for feature, error in candidates
+            ]
+        groups = [
+            self.build_candidate_tasks(train, test, feature, error)
+            for feature, error in candidates
+        ]
+        flat = [task for group in groups for task in group.tasks]
+        fit_scores = backend.map(run_fit_score_task, flat)
+        predictions: list[Prediction] = []
+        offset = 0
+        for group in groups:
+            chunk = fit_scores[offset : offset + len(group.tasks)]
+            offset += len(group.tasks)
+            levels, scores = _assemble_curve(group, chunk, baseline_f1)
+            predictions.append(
+                self.predict_cleaning(
+                    group.feature, group.error, levels, scores, group.polluted_rows
+                )
+            )
+        return predictions
 
     # ------------------------------------------------------------------ #
     # discrepancy feedback (§3.3)

@@ -18,6 +18,7 @@ from repro.experiments.runner import (
     Configuration,
     build_polluted,
     run_configuration,
+    run_configurations,
     run_method,
 )
 
@@ -27,6 +28,7 @@ __all__ = [
     "build_polluted",
     "run_method",
     "run_configuration",
+    "run_configurations",
     "average_curve",
     "f1_advantage",
     "f1_advantage_curves",

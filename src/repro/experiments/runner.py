@@ -5,6 +5,13 @@ and error type(s); each configuration is evaluated across several sampled
 pre-pollution settings. ``run_configuration`` executes a set of methods
 (COMET plus baselines) on identical polluted datasets so their traces are
 directly comparable.
+
+Settings are independent by construction — every per-setting run derives
+its dataset and method RNG from explicit ``(seed, setting, repeat)``
+arithmetic, never from shared generator state — so ``run_configuration``
+and ``run_configurations`` can fan the per-setting work out through a
+``repro.runtime`` backend and still return exactly what a sequential run
+returns.
 """
 
 from __future__ import annotations
@@ -25,6 +32,7 @@ from repro.core import Comet, CometConfig
 from repro.core.trace import CleaningTrace
 from repro.datasets import load_cleanml, load_dataset, pollute
 from repro.errors.prepollution import PollutedDataset
+from repro.runtime import ExecutionBackend, make_backend
 
 __all__ = [
     "Configuration",
@@ -32,6 +40,7 @@ __all__ = [
     "build_polluted",
     "run_method",
     "run_configuration",
+    "run_configurations",
 ]
 
 METHOD_NAMES = ("comet", "rr", "fir", "cl", "ac", "oracle")
@@ -63,6 +72,11 @@ class Configuration:
         sampling a pre-pollution setting.
     rr_repeats:
         Random-baseline repetitions averaged per setting (5 in §4.5).
+    backend:
+        Execution backend name for COMET's estimation sweep
+        (``"serial"``, ``"thread"``, ``"process"``).
+    jobs:
+        Worker count for the backend; ``1`` falls back to serial.
     """
 
     dataset: str
@@ -77,6 +91,8 @@ class Configuration:
     comet_config: CometConfig | None = None
     pollution_scale: float = 0.15
     max_level: float = 0.4
+    backend: str = "serial"
+    jobs: int = 1
 
     def make_cost_model(self):
         """Instantiate the configured cost model."""
@@ -122,13 +138,16 @@ def run_method(
         cost_model=config.make_cost_model(),
     )
     if method == "comet":
-        return Comet(
+        with Comet(
             polluted,
             algorithm=config.algorithm,
             config=config.make_comet_config(),
             rng=rng,
+            backend=config.backend,
+            jobs=config.jobs,
             **common,
-        ).run()
+        ) as comet:
+            return comet.run()
     if method == "cl":
         return CometLight(
             polluted,
@@ -151,30 +170,91 @@ def run_method(
     ).run()
 
 
+@dataclass
+class _SettingTask:
+    """One pre-pollution setting's full method sweep (picklable)."""
+
+    config: Configuration
+    methods: tuple
+    setting: int
+    seed: int
+
+
+def _run_setting(task: _SettingTask) -> dict[str, list[CleaningTrace]]:
+    """Build one setting's polluted dataset and run every method on it.
+
+    Module-level so process backends can pickle it. The methods share one
+    polluted dataset and run in declaration order, exactly as the
+    sequential loop did.
+    """
+    polluted = build_polluted(task.config, seed=task.seed + task.setting)
+    results: dict[str, list[CleaningTrace]] = {m: [] for m in task.methods}
+    for method in task.methods:
+        repeats = task.config.rr_repeats if method == "rr" else 1
+        for r in range(repeats):
+            results[method].append(
+                run_method(
+                    method,
+                    polluted,
+                    task.config,
+                    rng=task.seed * 1000 + task.setting * 10 + r,
+                )
+            )
+    return results
+
+
 def run_configuration(
     config: Configuration,
     methods=("comet", "rr"),
     n_settings: int = 1,
     seed: int = 0,
+    backend: str | ExecutionBackend = "serial",
+    jobs: int = 1,
 ) -> dict[str, list[CleaningTrace]]:
     """Run each method across ``n_settings`` pre-pollution settings.
 
     The random baseline is repeated ``config.rr_repeats`` times per setting
     (its traces are appended; downstream averaging treats them as one
     setting each, matching the paper's averaged RR curves).
+
+    ``backend``/``jobs`` parallelize *across settings* (each setting task
+    seeds itself from ``seed + setting``, so results match a serial run
+    trace-for-trace). This outer fan-out composes with the per-session
+    ``config.backend``/``config.jobs`` knob — combining both multiplies
+    worker counts, so enable only one level for CPU-bound runs.
     """
-    results: dict[str, list[CleaningTrace]] = {m: [] for m in methods}
-    for setting in range(n_settings):
-        polluted = build_polluted(config, seed=seed + setting)
-        for method in methods:
-            repeats = config.rr_repeats if method == "rr" else 1
-            for r in range(repeats):
-                results[method].append(
-                    run_method(
-                        method,
-                        polluted,
-                        config,
-                        rng=seed * 1000 + setting * 10 + r,
-                    )
-                )
-    return results
+    return run_configurations(
+        [config], methods, n_settings, seed, backend=backend, jobs=jobs
+    )[0]
+
+
+def run_configurations(
+    configs: list[Configuration],
+    methods=("comet", "rr"),
+    n_settings: int = 1,
+    seed: int = 0,
+    backend: str | ExecutionBackend = "serial",
+    jobs: int = 1,
+) -> list[dict[str, list[CleaningTrace]]]:
+    """Run several configurations, fanning (config, setting) tasks out.
+
+    The work unit is one setting of one configuration, so a figure-style
+    grid of many small configurations saturates the backend even when
+    each configuration has a single setting. Returns one result dict per
+    configuration, in input order, identical to serial execution.
+    """
+    tasks = [
+        _SettingTask(config, tuple(methods), s, seed)
+        for config in configs
+        for s in range(n_settings)
+    ]
+    with make_backend(backend, jobs) as pool:
+        per_task = pool.map(_run_setting, tasks)
+    out: list[dict[str, list[CleaningTrace]]] = []
+    for i in range(len(configs)):
+        results: dict[str, list[CleaningTrace]] = {m: [] for m in methods}
+        for setting_result in per_task[i * n_settings : (i + 1) * n_settings]:
+            for method in methods:
+                results[method].extend(setting_result[method])
+        out.append(results)
+    return out

@@ -31,7 +31,13 @@ from repro.ml.model_selection import (
     train_test_split,
 )
 from repro.ml.pipeline import TabularModel
-from repro.ml.preprocessing import OneHotEncoder, StandardScaler, TabularPreprocessor
+from repro.ml.preprocessing import (
+    OneHotEncoder,
+    StandardScaler,
+    TabularPreprocessor,
+    clear_fit_cache,
+    fit_cache_stats,
+)
 from repro.ml.registry import available_algorithms, make_classifier
 from repro.ml.svm import LinearSVC
 
@@ -58,6 +64,8 @@ __all__ = [
     "StandardScaler",
     "TabularPreprocessor",
     "TabularModel",
+    "clear_fit_cache",
+    "fit_cache_stats",
     "available_algorithms",
     "make_classifier",
 ]

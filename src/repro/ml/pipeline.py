@@ -32,6 +32,12 @@ class TabularModel:
         ``"classification"`` (F1 score, integer-encoded labels — the
         paper's setting) or ``"regression"`` (R², raw float targets — the
         §6 extension).
+    preprocessor:
+        Optional pre-fit :class:`TabularPreprocessor` to reuse as-is —
+        ``fit`` then skips featurization fitting entirely (the caller
+        vouches that the fitted statistics match the training frame, e.g.
+        repeated refits on the same data state). An unfitted instance is
+        fit once on the first training frame and reused afterwards.
     """
 
     def __init__(
@@ -40,6 +46,7 @@ class TabularModel:
         label: str,
         feature_names: list[str] | None = None,
         task: str = "classification",
+        preprocessor: TabularPreprocessor | None = None,
     ) -> None:
         if task not in ("classification", "regression"):
             raise ValueError(f"unknown task {task!r}")
@@ -47,6 +54,7 @@ class TabularModel:
         self.label = label
         self.feature_names = feature_names
         self.task = task
+        self.preprocessor = preprocessor
 
     def _targets(self, frame: DataFrame) -> np.ndarray:
         if self.task == "classification":
@@ -60,11 +68,17 @@ class TabularModel:
 
     def fit(self, frame: DataFrame) -> "TabularModel":
         """Fit on the given training data and return ``self``."""
-        features = self.feature_names or [
-            n for n in frame.column_names if n != self.label
-        ]
-        self.features_ = list(features)
-        self.preprocessor_ = TabularPreprocessor(self.features_).fit(frame)
+        if self.preprocessor is not None:
+            if not hasattr(self.preprocessor, "encoder_"):
+                self.preprocessor.fit(frame)
+            self.features_ = list(self.preprocessor.feature_names)
+            self.preprocessor_ = self.preprocessor
+        else:
+            features = self.feature_names or [
+                n for n in frame.column_names if n != self.label
+            ]
+            self.features_ = list(features)
+            self.preprocessor_ = TabularPreprocessor(self.features_).fit(frame)
         X = self.preprocessor_.transform(frame)
         y = self._targets(frame)
         self.model_ = clone(self.estimator)

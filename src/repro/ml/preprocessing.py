@@ -5,15 +5,35 @@ matrices, so the preprocessing stage is where dirty cells become model
 inputs: numeric missing cells are mean-imputed (the train mean), while
 categorical missing cells become an explicit ``<missing>`` category —
 mirroring how placeholder values behave in the paper's pipeline.
+
+Fitting is per-column and memoized: the E1 sweep refits the preprocessor
+on data states that differ from the base frame in exactly one polluted
+column, so the fit statistics of every *other* numeric column are
+content-hashed and served from a bounded process-wide cache instead of
+being recomputed per pollution state (categorical category sets are
+cheaper to recompute than to digest robustly, so they skip the cache).
+Cache hits return the same values a recomputation would (the key is a
+digest of the column's bytes), so caching never changes results — see
+``repro.runtime`` for the determinism contract.
 """
 
 from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
 
 import numpy as np
 
 from repro.frame import Column, DataFrame
 
-__all__ = ["StandardScaler", "OneHotEncoder", "TabularPreprocessor"]
+__all__ = [
+    "StandardScaler",
+    "OneHotEncoder",
+    "TabularPreprocessor",
+    "clear_fit_cache",
+    "fit_cache_stats",
+]
 
 
 class StandardScaler:
@@ -79,6 +99,85 @@ class OneHotEncoder:
 
 _MISSING_CATEGORY = "<missing>"
 
+# ---------------------------------------------------------------------- #
+# fit-signature cache
+# ---------------------------------------------------------------------- #
+#: column-content digest → per-column fit statistics (immutable tuples).
+_FIT_CACHE: OrderedDict[bytes, tuple] = OrderedDict()
+_FIT_CACHE_MAX = 1024
+_FIT_CACHE_LOCK = threading.Lock()
+_FIT_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def clear_fit_cache() -> None:
+    """Drop all memoized per-column fit statistics and reset counters."""
+    with _FIT_CACHE_LOCK:
+        _FIT_CACHE.clear()
+        _FIT_CACHE_STATS["hits"] = 0
+        _FIT_CACHE_STATS["misses"] = 0
+
+
+def fit_cache_stats() -> dict[str, int]:
+    """Current hit/miss counters of the featurization cache."""
+    with _FIT_CACHE_LOCK:
+        return dict(_FIT_CACHE_STATS)
+
+
+def _column_signature(column: Column) -> bytes:
+    """Content digest of a numeric column: values, missing mask, length.
+
+    Only numeric columns are digested: their ``tobytes`` serialization is
+    vectorized and injective, so hashing costs one memory pass. A robust
+    digest of an object column would cost more than the category-set
+    computation it memoizes, so categorical fits skip the cache entirely.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(b"num\x00")
+    h.update(column.values.tobytes())
+    h.update(column.missing_mask.tobytes())
+    h.update(len(column).to_bytes(8, "little"))
+    return h.digest()
+
+
+def _cached_column_fit(column: Column, compute) -> tuple:
+    """Serve ``compute(column)`` from the cache, keyed by content digest."""
+    key = _column_signature(column)
+    with _FIT_CACHE_LOCK:
+        cached = _FIT_CACHE.get(key)
+        if cached is not None:
+            _FIT_CACHE.move_to_end(key)
+            _FIT_CACHE_STATS["hits"] += 1
+            return cached
+        _FIT_CACHE_STATS["misses"] += 1
+    stats = compute(column)
+    with _FIT_CACHE_LOCK:
+        _FIT_CACHE[key] = stats
+        _FIT_CACHE.move_to_end(key)
+        while len(_FIT_CACHE) > _FIT_CACHE_MAX:
+            _FIT_CACHE.popitem(last=False)
+    return stats
+
+
+def _fit_numeric_column(column: Column) -> tuple[float, float, float]:
+    """(imputation mean, scaler mean, scaler std) for one numeric column."""
+    values = column.values
+    present = values[~column.missing_mask]
+    present = present[np.isfinite(present)]
+    impute = float(present.mean()) if present.size else 0.0
+    filled = values.copy()
+    filled[~np.isfinite(filled)] = impute
+    std = float(filled.std())
+    return impute, float(filled.mean()), std if std != 0.0 else 1.0
+
+
+def _fit_categorical_column(column: Column) -> tuple:
+    """Sorted category tuple (with ``<missing>``) for one object column."""
+    values = column.values[~column.missing_mask]
+    present = set(values.tolist())
+    if column.n_missing:
+        present.add(_MISSING_CATEGORY)
+    return tuple(sorted(present, key=str))
+
 
 class TabularPreprocessor:
     """DataFrame → float matrix: impute, scale numerics, one-hot categoricals.
@@ -92,12 +191,22 @@ class TabularPreprocessor:
     ----------
     feature_names:
         Columns to encode, in order. The label column must not be included.
+    cache:
+        Serve numeric per-column fit statistics from the process-wide
+        fit-signature cache (default). Disable to force recomputation;
+        the fitted state is identical either way.
     """
 
-    def __init__(self, feature_names: list[str]) -> None:
+    def __init__(self, feature_names: list[str], cache: bool = True) -> None:
         if not feature_names:
             raise ValueError("need at least one feature column")
         self.feature_names = list(feature_names)
+        self.cache = cache
+
+    def _column_fit(self, column: Column, compute) -> tuple:
+        if self.cache:
+            return _cached_column_fit(column, compute)
+        return compute(column)
 
     def fit(self, frame: DataFrame) -> "TabularPreprocessor":
         """Fit on the given training data and return ``self``."""
@@ -108,16 +217,23 @@ class TabularPreprocessor:
             n for n in self.feature_names if frame[n].is_categorical
         ]
         self.numeric_means_ = {}
+        scale_means, scale_stds = [], []
         for name in self.numeric_names_:
-            col = frame[name]
-            present = col.values[~col.missing_mask]
-            present = present[np.isfinite(present)]
-            self.numeric_means_[name] = float(present.mean()) if present.size else 0.0
-        numeric = self._numeric_matrix(frame)
-        self.scaler_ = StandardScaler().fit(numeric) if self.numeric_names_ else None
-        self.encoder_ = OneHotEncoder().fit(
-            [self._categorical_values(frame, n) for n in self.categorical_names_]
-        )
+            impute, mean, std = self._column_fit(frame[name], _fit_numeric_column)
+            self.numeric_means_[name] = impute
+            scale_means.append(mean)
+            scale_stds.append(std)
+        if self.numeric_names_:
+            self.scaler_ = StandardScaler()
+            self.scaler_.mean_ = np.asarray(scale_means)
+            self.scaler_.scale_ = np.asarray(scale_stds)
+        else:
+            self.scaler_ = None
+        self.encoder_ = OneHotEncoder()
+        self.encoder_.categories_ = [
+            list(_fit_categorical_column(frame[n]))
+            for n in self.categorical_names_
+        ]
         return self
 
     def transform(self, frame: DataFrame) -> np.ndarray:

@@ -1,0 +1,168 @@
+"""Execution backends: serial, thread-pool, and process-pool task runners.
+
+A backend is a context manager owning worker resources plus one verb,
+``map(fn, tasks)``, which applies ``fn`` to every task and returns the
+results *in task order* — completion order never leaks through, which is
+half of the determinism guarantee (see the package docstring).
+
+Pools are created lazily on first ``map`` so a backend constructed but
+never used costs nothing; entering the context starts the pool eagerly
+and leaving it shuts the pool down.
+"""
+
+from __future__ import annotations
+
+import abc
+import warnings
+from concurrent.futures import (
+    BrokenExecutor,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from typing import Callable, Iterable, Sequence
+
+__all__ = ["ExecutionBackend", "SerialBackend", "ThreadBackend", "ProcessBackend"]
+
+
+class ExecutionBackend(abc.ABC):
+    """Common API of all execution backends.
+
+    Subclasses implement :meth:`map`; pooled backends additionally manage
+    worker lifecycles through :meth:`start` / :meth:`shutdown`, which the
+    context-manager protocol calls for them.
+    """
+
+    #: Registry name of the backend (``"serial"``, ``"thread"``, …).
+    name: str = "?"
+    #: Number of workers the backend runs tasks on (1 for serial).
+    workers: int = 1
+
+    @abc.abstractmethod
+    def map(self, fn: Callable, tasks: Iterable) -> list:
+        """Apply ``fn`` to every task; results come back in task order."""
+
+    def start(self) -> None:
+        """Acquire worker resources (no-op for serial execution)."""
+
+    def shutdown(self) -> None:
+        """Release worker resources (no-op for serial execution)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(workers={self.workers})"
+
+
+class SerialBackend(ExecutionBackend):
+    """Run every task inline on the calling thread (the reference order)."""
+
+    name = "serial"
+
+    def map(self, fn: Callable, tasks: Iterable) -> list:
+        """Apply ``fn`` to every task; results come back in task order."""
+        return [fn(task) for task in tasks]
+
+
+class _PooledBackend(ExecutionBackend):
+    """Shared lazy-pool plumbing for the thread and process backends."""
+
+    def __init__(self, workers: int = 2) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self._pool: Executor | None = None
+
+    @abc.abstractmethod
+    def _make_pool(self) -> Executor:
+        """Construct the executor backing this backend."""
+
+    def start(self) -> None:
+        """Acquire worker resources (idempotent)."""
+        if self._pool is None:
+            self._pool = self._make_pool()
+
+    def shutdown(self) -> None:
+        """Release worker resources (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def map(self, fn: Callable, tasks: Iterable) -> list:
+        """Apply ``fn`` to every task; results come back in task order."""
+        tasks = list(tasks) if not isinstance(tasks, Sequence) else tasks
+        if not tasks:
+            return []
+        self.start()
+        return list(self._pool.map(fn, tasks))
+
+
+class ThreadBackend(_PooledBackend):
+    """Thread-pool execution: shared memory, no pickling.
+
+    The fit-score workload is numpy-heavy, so threads overlap the
+    GIL-releasing linear algebra; payloads are shared by reference, which
+    makes this the cheapest parallel backend for in-process use.
+    """
+
+    name = "thread"
+
+    def _make_pool(self) -> Executor:
+        return ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-worker"
+        )
+
+
+class ProcessBackend(_PooledBackend):
+    """Process-pool execution: true CPU parallelism, pickled payloads.
+
+    Tasks and the mapped function must be picklable (module-level
+    callables, dataclass payloads).  If the host forbids spawning worker
+    processes (sandboxes, restricted containers), ``map`` degrades to
+    inline execution with a warning rather than failing the run — the
+    results are identical either way.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int = 2) -> None:
+        super().__init__(workers)
+        self._degraded = False
+
+    def _make_pool(self) -> Executor:
+        return ProcessPoolExecutor(max_workers=self.workers)
+
+    def map(self, fn: Callable, tasks: Iterable) -> list:
+        """Apply ``fn`` to every task; results come back in task order.
+
+        Pool failures degrade to the inline fallback — stickily, so a
+        host that forbids worker processes pays the failed pool setup
+        once, not per sweep. ``OSError`` is caught around the dispatch
+        as well as pool creation because worker processes are only
+        spawned at first submit — that is where a fork-denying host
+        actually raises. Fit-score tasks are pure numpy computation and
+        never raise ``OSError`` themselves, so the attribution is
+        unambiguous for this workload.
+        """
+        tasks = list(tasks) if not isinstance(tasks, Sequence) else tasks
+        if not tasks:
+            return []
+        if self._degraded:
+            return [fn(task) for task in tasks]
+        try:
+            self.start()
+            return list(self._pool.map(fn, tasks))
+        except (BrokenExecutor, OSError, PermissionError) as exc:
+            self.shutdown()
+            self._degraded = True
+            warnings.warn(
+                f"process backend unavailable ({exc}); running tasks inline",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return [fn(task) for task in tasks]

@@ -1,0 +1,64 @@
+"""Backend registry: select an execution backend by name.
+
+Mirrors the ML registry idiom (``repro.ml.registry``): a name → factory
+mapping with a ``make_backend`` constructor used by :class:`~repro.core.
+comet.Comet`, the experiment runner, and the CLI's ``--backend`` flag.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.runtime.backends import (
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+)
+
+__all__ = ["register_backend", "make_backend", "available_backends"]
+
+#: name → factory taking the worker count.
+_BACKENDS: dict[str, Callable[[int], ExecutionBackend]] = {}
+
+
+def register_backend(name: str, factory: Callable[[int], ExecutionBackend]) -> None:
+    """Register a backend factory under ``name`` (overwrites silently)."""
+    _BACKENDS[name] = factory
+
+
+def available_backends() -> list[str]:
+    """Registered backend names, sorted."""
+    return sorted(_BACKENDS)
+
+
+def make_backend(
+    backend: str | ExecutionBackend = "serial", jobs: int = 1
+) -> ExecutionBackend:
+    """Instantiate a backend by name, with serial auto-fallback.
+
+    Parameters
+    ----------
+    backend:
+        Registry name, or an already-constructed backend (returned as-is
+        so callers can inject custom implementations).
+    jobs:
+        Worker count.  ``jobs <= 1`` always yields a
+        :class:`SerialBackend` — one worker is serial execution, so no
+        pool is ever paid for it.
+    """
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    factory = _BACKENDS.get(backend)
+    if factory is None:
+        raise ValueError(
+            f"unknown backend {backend!r}; choose from {available_backends()}"
+        )
+    if jobs <= 1:
+        return SerialBackend()
+    return factory(jobs)
+
+
+register_backend("serial", lambda jobs: SerialBackend())
+register_backend("thread", lambda jobs: ThreadBackend(jobs))
+register_backend("process", lambda jobs: ProcessBackend(jobs))

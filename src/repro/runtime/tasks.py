@@ -1,0 +1,58 @@
+"""Picklable units of work for the execution backends.
+
+A :class:`FitScoreTask` freezes everything one model evaluation needs —
+the estimator template, the label column, the task kind, and the train /
+test frames — so :func:`run_fit_score_task` is a pure function of its
+payload.  That purity is what lets the backends run tasks in any order
+(or in other processes) while the session stays bit-identical to a
+serial run: every data state and every random draw happened *before* the
+task was built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.frame import DataFrame
+from repro.ml.base import BaseEstimator
+from repro.ml.pipeline import TabularModel
+
+__all__ = ["FitScoreTask", "run_fit_score_task"]
+
+
+@dataclass
+class FitScoreTask:
+    """One "fit on this frame, score on that frame" evaluation.
+
+    Attributes
+    ----------
+    estimator:
+        Unfitted estimator template (cloned inside the task run).
+    label:
+        Label column name.
+    train, test:
+        The (possibly polluted) data states to fit and score on.
+    task:
+        ``"classification"`` or ``"regression"``.
+    tag:
+        Opaque caller bookkeeping (e.g. ``(candidate_index, position)``);
+        carried through untouched so results can be reassembled.
+    """
+
+    estimator: BaseEstimator
+    label: str
+    train: DataFrame
+    test: DataFrame
+    task: str = "classification"
+    tag: Any = field(default=None, compare=False)
+
+    def run(self) -> float:
+        """Execute the evaluation and return the task metric."""
+        model = TabularModel(self.estimator, label=self.label, task=self.task)
+        return model.fit_score(self.train, self.test)
+
+
+def run_fit_score_task(task: FitScoreTask) -> float:
+    """Module-level runner (process backends need a picklable callable)."""
+    return task.run()

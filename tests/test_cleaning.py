@@ -202,3 +202,68 @@ class TestCleaningBuffer:
 
     def test_pop_missing_key_returns_none(self):
         assert CleaningBuffer().pop("x", "missing") is None
+
+
+class TestCleaningBufferReplay:
+    """Replay semantics through the Comet session (§3.3, step D): a
+    buffered re-cleaning is free, never double-charges the budget, and a
+    revert → replay → accept cycle lands on the originally cleaned state."""
+
+    def _session(self):
+        from repro.core import Comet, CometConfig
+
+        return Comet(
+            _polluted_dataset(),
+            algorithm="lor",
+            error_types=["missing"],
+            budget=10.0,
+            config=CometConfig(step=0.05),
+            rng=0,
+        )
+
+    def test_replay_costs_zero_and_never_double_charges(self):
+        comet = self._session()
+        pair = ("num", "missing")
+        first_cost = comet._perform_cleaning("num", "missing", None)
+        assert first_cost > 0.0
+        spent_after_first = comet.budget.spent
+        cleaned_train = comet.dataset.train["num"].copy()
+        comet._revert_last(pair)
+        assert pair in comet.buffer
+        assert comet.budget.spent == spent_after_first  # revert refunds nothing
+        replay_cost = comet._perform_cleaning("num", "missing", None)
+        assert replay_cost == 0.0
+        assert comet.budget.spent == spent_after_first  # no double charge
+        assert comet.dataset.train["num"] == cleaned_train
+        assert pair not in comet.buffer  # the buffered step was consumed
+
+    def test_cost_model_step_history_not_advanced_by_replay(self):
+        comet = self._session()
+        comet._perform_cleaning("num", "missing", None)
+        assert comet.cost_model.steps_done("num", "missing") == 1
+        comet._revert_last(("num", "missing"))
+        comet._perform_cleaning("num", "missing", None)
+        # The replay re-applied recorded work; it must not register a new
+        # cleaning step against the cost model.
+        assert comet.cost_model.steps_done("num", "missing") == 1
+
+    def test_revert_replay_accept_cycle(self):
+        comet = self._session()
+        pair = ("num", "missing")
+        baseline = comet._baseline()
+        comet._perform_cleaning("num", "missing", None)
+        cleaned_train = comet.dataset.train["num"].copy()
+        dirty_after_clean = comet.dataset.dirty_train.dirty_count("num", "missing")
+        spent = comet.budget.spent
+        comet._revert_last(pair)
+        # The revert restores the pre-cleaning state without spoiling the
+        # memoized baseline.
+        assert comet._baseline() == baseline
+        comet._perform_cleaning("num", "missing", None)
+        f1_after = comet.measure_baseline()
+        comet._accept(pair, f1_after)
+        assert comet.dataset.train["num"] == cleaned_train
+        assert comet.dataset.dirty_train.dirty_count("num", "missing") == dirty_after_clean
+        assert comet.budget.spent == spent
+        assert comet._baseline() == f1_after
+        assert len(comet.buffer) == 0

@@ -62,3 +62,34 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "current F1" in out or "no candidate" in out
+
+
+class TestBackendFlags:
+    def test_backend_defaults_to_serial(self):
+        args = build_parser().parse_args(["run", "--dataset", "cmc"])
+        assert args.backend == "serial"
+        assert args.jobs == 1
+
+    def test_backend_and_jobs_parse(self):
+        args = build_parser().parse_args(
+            ["run", "--dataset", "cmc", "--backend", "thread", "--jobs", "4"]
+        )
+        assert args.backend == "thread"
+        assert args.jobs == 4
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--dataset", "cmc", "--backend", "gpu"]
+            )
+
+    def test_run_with_thread_backend(self, capsys):
+        code = main(
+            [
+                "run", "--dataset", "cmc", "--algorithm", "lor",
+                "--rows", "160", "--budget", "2", "--step", "0.05",
+                "--methods", "comet", "--backend", "thread", "--jobs", "2",
+            ]
+        )
+        assert code == 0
+        assert "COMET" in capsys.readouterr().out

@@ -42,7 +42,7 @@ class TestBufferReplay:
 
 class TestFallbackPath:
     def test_fallback_without_predictions_cleans_something(self, comet):
-        baseline = comet.estimator_measure_baseline()
+        baseline = comet.measure_baseline()
         record = comet._fallback([], baseline)
         assert record is not None
         assert record.used_fallback
@@ -103,7 +103,16 @@ class TestRecommendConsistency:
         assert comet.recommend(k=2) == []
 
     def test_recommend_scores_descending_and_positive_gain(self, comet):
-        baseline = comet.estimator_measure_baseline()
+        baseline = comet.measure_baseline()
         for candidate in comet.recommend(k=5):
             assert candidate.gain > 0.0
             assert candidate.prediction.predicted_f1 > baseline
+
+
+class TestDeprecatedBaselineAlias:
+    def test_alias_warns_and_delegates(self, comet):
+        import pytest as _pytest
+
+        with _pytest.warns(DeprecationWarning, match="measure_baseline"):
+            via_alias = comet.estimator_measure_baseline()
+        assert via_alias == comet.measure_baseline()

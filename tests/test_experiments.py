@@ -178,3 +178,35 @@ class TestReporting:
     def test_format_series_shape_mismatch(self):
         with pytest.raises(ValueError):
             format_series("x", [0, 1], [0.0])
+
+
+class TestParallelRunner:
+    """The runner's backend fan-out must return exactly what serial runs do."""
+
+    def test_run_configuration_thread_matches_serial(self):
+        config = Configuration("cmc", algorithm="lor", **FAST)
+        serial = run_configuration(
+            config, methods=("comet", "rr"), n_settings=2, seed=0
+        )
+        threaded = run_configuration(
+            config, methods=("comet", "rr"), n_settings=2, seed=0,
+            backend="thread", jobs=2,
+        )
+        assert serial.keys() == threaded.keys()
+        for method in serial:
+            assert serial[method] == threaded[method]
+
+    def test_run_configurations_fans_out_in_input_order(self):
+        from repro.experiments import run_configurations
+
+        configs = [
+            Configuration("cmc", algorithm="lor", **FAST),
+            Configuration("eeg", algorithm="lor", **FAST),
+        ]
+        batched = run_configurations(
+            configs, methods=("rr",), n_settings=1, seed=1, backend="thread", jobs=2
+        )
+        assert len(batched) == 2
+        for config, results in zip(configs, batched):
+            expected = run_configuration(config, methods=("rr",), n_settings=1, seed=1)
+            assert results == expected

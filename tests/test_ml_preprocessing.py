@@ -242,3 +242,108 @@ class TestTabularModel:
         model = TabularModel(make_classifier("knn"), label="y", feature_names=["z"])
         model.fit(frame)
         assert model.features_ == ["z"]
+
+
+class TestFitSignatureCache:
+    """The featurization cache must be a pure memo: identical fitted state
+    with it on or off, hits only for unchanged column content."""
+
+    def _frame(self, seed=0):
+        rng = np.random.default_rng(seed)
+        n = 60
+        return DataFrame(
+            {
+                "a": rng.normal(size=n),
+                "b": rng.normal(size=n),
+                "c": rng.choice(["u", "v", None], size=n),
+            }
+        )
+
+    def test_cached_and_uncached_fits_identical(self):
+        from repro.ml import clear_fit_cache
+
+        clear_fit_cache()
+        frame = self._frame()
+        cached = TabularPreprocessor(["a", "b", "c"]).fit(frame)
+        uncached = TabularPreprocessor(["a", "b", "c"], cache=False).fit(frame)
+        assert cached.numeric_means_ == uncached.numeric_means_
+        assert np.array_equal(cached.scaler_.mean_, uncached.scaler_.mean_)
+        assert np.array_equal(cached.scaler_.scale_, uncached.scaler_.scale_)
+        assert cached.encoder_.categories_ == uncached.encoder_.categories_
+        assert np.array_equal(cached.transform(frame), uncached.transform(frame))
+
+    def test_refit_hits_cache_per_column(self):
+        from repro.ml import clear_fit_cache, fit_cache_stats
+
+        clear_fit_cache()
+        frame = self._frame()
+        # Only the two numeric columns are memoized; the categorical
+        # column's category set is cheaper to recompute than to digest.
+        TabularPreprocessor(["a", "b", "c"]).fit(frame)
+        assert fit_cache_stats() == {"hits": 0, "misses": 2}
+        TabularPreprocessor(["a", "b", "c"]).fit(frame)
+        assert fit_cache_stats() == {"hits": 2, "misses": 2}
+
+    def test_polluting_one_column_only_refits_that_column(self):
+        from repro.ml import clear_fit_cache, fit_cache_stats
+
+        clear_fit_cache()
+        frame = self._frame()
+        TabularPreprocessor(["a", "b", "c"]).fit(frame)
+        polluted = frame.copy()
+        polluted["a"].set_missing([0, 1, 2])
+        TabularPreprocessor(["a", "b", "c"]).fit(polluted)
+        stats = fit_cache_stats()
+        # Numeric column b is unchanged → served from the cache; only the
+        # polluted numeric column a is recomputed.
+        assert stats == {"hits": 1, "misses": 3}
+
+    def test_changed_content_is_a_miss_not_a_stale_hit(self):
+        from repro.ml import clear_fit_cache
+
+        clear_fit_cache()
+        frame = self._frame()
+        first = TabularPreprocessor(["a"]).fit(frame)
+        shifted = frame.copy()
+        shifted["a"].set_values(np.arange(10), np.full(10, 99.0))
+        second = TabularPreprocessor(["a"]).fit(shifted)
+        assert first.numeric_means_["a"] != second.numeric_means_["a"]
+
+
+class TestTabularModelPreprocessorReuse:
+    def _frame(self):
+        rng = np.random.default_rng(3)
+        n = 80
+        return DataFrame(
+            {
+                "x": rng.normal(size=n),
+                "c": rng.choice(["u", "v"], size=n),
+                "y": rng.integers(0, 2, size=n),
+            }
+        )
+
+    def test_prefit_preprocessor_is_reused_not_refit(self):
+        frame = self._frame()
+        prefit = TabularPreprocessor(["x", "c"]).fit(frame)
+        model = TabularModel(make_classifier("lor"), label="y", preprocessor=prefit)
+        model.fit(frame)
+        assert model.preprocessor_ is prefit
+        assert model.features_ == ["x", "c"]
+
+    def test_prefit_reuse_scores_like_fresh_fit(self):
+        frame = self._frame()
+        train, test = frame.take(range(60)), frame.take(range(60, 80))
+        prefit = TabularPreprocessor(["x", "c"]).fit(train)
+        reused = TabularModel(
+            make_classifier("lor"), label="y", preprocessor=prefit
+        ).fit_score(train, test)
+        fresh = TabularModel(make_classifier("lor"), label="y").fit_score(train, test)
+        assert reused == fresh
+
+    def test_unfitted_preprocessor_fit_once_then_kept(self):
+        frame = self._frame()
+        prep = TabularPreprocessor(["x", "c"])
+        model = TabularModel(make_classifier("lor"), label="y", preprocessor=prep)
+        model.fit(frame)
+        assert model.preprocessor_ is prep
+        assert hasattr(prep, "encoder_")

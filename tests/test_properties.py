@@ -4,7 +4,15 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.cleaning import Budget, CostModel, GroundTruthCleaner, LinearCost, OneShotCost, paper_cost_model
+from repro.cleaning import (
+    Budget,
+    ConstantCost,
+    CostModel,
+    GroundTruthCleaner,
+    LinearCost,
+    OneShotCost,
+    paper_cost_model,
+)
 from repro.core.trace import CleaningTrace, IterationRecord
 from repro.errors import DirtyCells, MissingValues, Polluter, PrePollution, make_error
 from repro.frame import DataFrame
@@ -167,3 +175,64 @@ def test_pollution_then_preprocessing_stays_finite(seed, error_name):
     polluted, __ = polluter.pollute_once(dataset.train, "a")
     X = TabularPreprocessor(["a", "b"]).fit(polluted).transform(polluted)
     assert np.isfinite(X).all()
+
+
+# --------------------------------------------------------------------- #
+# Budget / CostModel invariants (execution-engine PR hardening)
+# --------------------------------------------------------------------- #
+@given(
+    st.lists(st.floats(-2.0, 10.0, allow_nan=False), max_size=40),
+    st.floats(0.5, 60.0),
+)
+def test_charge_consistent_with_can_afford(charges, total):
+    """``charge`` succeeds exactly when ``can_afford`` says so; failed or
+    negative charges leave the spend untouched."""
+    budget = Budget(total)
+    for price in charges:
+        spent_before = budget.spent
+        if price < 0:
+            with pytest.raises(ValueError):
+                budget.charge(price)
+            assert budget.spent == spent_before
+        elif budget.can_afford(price):
+            budget.charge(price)
+            assert budget.spent == pytest.approx(spent_before + price)
+        else:
+            with pytest.raises(ValueError):
+                budget.charge(price)
+            assert budget.spent == spent_before
+        assert 0.0 <= budget.spent <= budget.total + 1e-6
+        assert budget.exhausted() == (budget.remaining <= 1e-9)
+
+
+_cost_functions = st.one_of(
+    st.builds(ConstantCost, st.floats(0.1, 5.0)),
+    st.builds(OneShotCost, st.floats(0.1, 5.0), st.floats(0.0, 5.0)),
+    st.builds(LinearCost, st.floats(0.1, 5.0), st.floats(0.0, 5.0)),
+)
+
+
+@given(_cost_functions, st.integers(0, 60))
+def test_cost_functions_never_negative(fn, steps_done):
+    assert fn.cost(steps_done) >= 0.0
+
+
+@given(
+    _cost_functions,
+    st.lists(
+        st.tuples(st.sampled_from(["a", "b", "c"]), st.sampled_from(["missing", "noise"])),
+        max_size=25,
+    ),
+)
+def test_cost_model_next_cost_is_pure_and_non_negative(fn, steps):
+    """``next_cost`` never mutates history, never goes negative, and always
+    equals what ``record_step`` then charges."""
+    model = CostModel(default=fn)
+    for feature, error in steps:
+        done_before = model.steps_done(feature, error)
+        quoted = model.next_cost(feature, error)
+        assert quoted >= 0.0
+        assert model.next_cost(feature, error) == quoted  # quoting is pure
+        assert model.steps_done(feature, error) == done_before
+        assert model.record_step(feature, error) == quoted
+        assert model.steps_done(feature, error) == done_before + 1
