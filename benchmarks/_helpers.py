@@ -9,6 +9,7 @@ so EXPERIMENTS.md can quote the measured numbers.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import numpy as np
@@ -18,6 +19,7 @@ from repro.experiments import (
     f1_advantage_curves,
     format_series,
     run_configuration,
+    run_configurations,
 )
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -28,6 +30,17 @@ BUDGET = 16.0
 STEP = 0.02
 GRID = np.arange(0.0, BUDGET + 1.0)
 RR_REPEATS = 2
+
+# Figure suites fan their (configuration, setting) tasks out through a
+# ``repro.runtime`` backend — results are trace-identical to serial runs
+# (the determinism contract), so this is purely a throughput knob.
+# Override with REPRO_BENCH_BACKEND=serial|thread|process and
+# REPRO_BENCH_JOBS=<n>; the default uses the process pool on multi-core
+# hosts and degrades to serial on single-core ones (``jobs<=1`` → serial).
+BENCH_BACKEND = os.environ.get("REPRO_BENCH_BACKEND", "process")
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS") or 0) or min(
+    os.cpu_count() or 1, 4
+)
 
 ERROR_NAMES = ("categorical", "noise", "missing", "scaling")
 ERROR_LABELS = {
@@ -69,10 +82,19 @@ def advantage_lines(
     seed: int = 0,
     grid: np.ndarray | None = None,
 ) -> tuple[list[str], dict]:
-    """Run a comparison and format COMET's advantage series per baseline."""
+    """Run a comparison and format COMET's advantage series per baseline.
+
+    Settings fan out through the benchmark backend (see ``BENCH_BACKEND``);
+    the returned traces equal a serial run's.
+    """
     grid = GRID if grid is None else grid
     results = run_configuration(
-        config, methods=("comet", *methods), n_settings=n_settings, seed=seed
+        config,
+        methods=("comet", *methods),
+        n_settings=n_settings,
+        seed=seed,
+        backend=BENCH_BACKEND,
+        jobs=BENCH_JOBS,
     )
     curves = f1_advantage_curves(results, grid)
     lines = [
@@ -80,6 +102,29 @@ def advantage_lines(
         for m, c in curves.items()
     ]
     return lines, {"results": results, "curves": curves}
+
+
+def results_grid(
+    configs: list[Configuration],
+    methods,
+    n_settings: int = 1,
+    seed: int = 0,
+) -> list[dict]:
+    """Run a whole grid of configurations through one backend fan-out.
+
+    The work unit is one (configuration, setting) pair, so figure-style
+    grids of many small configurations saturate the pool even with a
+    single setting each. Returns one method→traces dict per
+    configuration, in input order, identical to serial execution.
+    """
+    return run_configurations(
+        configs,
+        methods=methods,
+        n_settings=n_settings,
+        seed=seed,
+        backend=BENCH_BACKEND,
+        jobs=BENCH_JOBS,
+    )
 
 
 def applicable_errors(dataset: str) -> tuple[str, ...]:

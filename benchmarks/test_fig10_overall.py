@@ -10,12 +10,11 @@ missing values give larger advantages than Gaussian noise and scaling.
 """
 
 import numpy as np
-from _helpers import applicable_errors, comparison_config, report
+from _helpers import applicable_errors, comparison_config, report, results_grid
 
 from repro.experiments import (
     advantage_by_algorithm,
     advantage_by_error_type,
-    run_configuration,
 )
 
 _CLASSIC = ("gb", "knn", "mlp", "svm")
@@ -23,28 +22,50 @@ _CONVEX = ("ac_svm", "lir", "lor")
 
 
 def _runs():
-    """A reduced grid: every algorithm on CMC, every error type on EEG+CMC."""
+    """A reduced grid: every algorithm on CMC, every error type on EEG+CMC.
+
+    Each group's configurations go through one ``run_configurations``
+    fan-out (the PR 2 backend wiring), which parallelizes the grid while
+    returning exactly what the historical per-config loop returned.
+    """
     runs = []
     # (a) by algorithm — missing values on CMC.
-    for algorithm in _CLASSIC:
-        config = comparison_config("cmc", algorithm, ("missing",), budget=8.0, n_rows=200)
-        results = run_configuration(config, methods=("comet", "fir", "rr", "cl"), n_settings=1)
+    classic_configs = [
+        comparison_config("cmc", algorithm, ("missing",), budget=8.0, n_rows=200)
+        for algorithm in _CLASSIC
+    ]
+    for algorithm, config, results in zip(
+        _CLASSIC,
+        classic_configs,
+        results_grid(classic_configs, methods=("comet", "fir", "rr", "cl")),
+    ):
         runs.append(
             {"algorithm": algorithm, "error_type": "missing", "budget": config.budget,
              "comet": results["comet"],
              "baselines": {m: results[m] for m in ("fir", "rr", "cl")}}
         )
-    for algorithm in _CONVEX:
-        config = comparison_config("cmc", algorithm, ("missing",), budget=8.0, n_rows=200)
-        results = run_configuration(config, methods=("comet", "ac"), n_settings=1)
+    convex_configs = [
+        comparison_config("cmc", algorithm, ("missing",), budget=8.0, n_rows=200)
+        for algorithm in _CONVEX
+    ]
+    for algorithm, config, results in zip(
+        _CONVEX, convex_configs, results_grid(convex_configs, methods=("comet", "ac"))
+    ):
         runs.append(
             {"algorithm": algorithm, "error_type": "missing", "budget": config.budget,
              "comet": results["comet"], "baselines": {"ac": results["ac"]}}
         )
     # (b) by error type — SVM on CMC across all four error types.
-    for error in applicable_errors("cmc"):
-        config = comparison_config("cmc", "svm", (error,), budget=8.0, n_rows=200)
-        results = run_configuration(config, methods=("comet", "fir", "rr", "cl"), n_settings=1, seed=1)
+    errors = applicable_errors("cmc")
+    error_configs = [
+        comparison_config("cmc", "svm", (error,), budget=8.0, n_rows=200)
+        for error in errors
+    ]
+    for error, config, results in zip(
+        errors,
+        error_configs,
+        results_grid(error_configs, methods=("comet", "fir", "rr", "cl"), seed=1),
+    ):
         runs.append(
             {"algorithm": "svm", "error_type": error, "budget": config.budget,
              "comet": results["comet"],

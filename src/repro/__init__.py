@@ -22,12 +22,18 @@ from repro.datasets import dataset_summaries, load_dataset, pollute
 from repro.errors import PollutedDataset, Polluter, PrePollution
 from repro.frame import Column, DataFrame
 from repro.runtime import available_backends, make_backend
+from repro.service import CometService
+from repro.session import CleaningSession, SessionObserver, SessionState
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Comet",
     "CometConfig",
+    "CleaningSession",
+    "SessionState",
+    "SessionObserver",
+    "CometService",
     "CleaningTrace",
     "Budget",
     "CostModel",

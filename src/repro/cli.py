@@ -6,6 +6,8 @@ Examples::
     python -m repro run --dataset cmc --algorithm svm --errors missing \
         --methods comet rr fir --budget 10 --rows 240
     python -m repro recommend --dataset churn --algorithm gb --errors missing
+    python -m repro serve --backend thread --jobs 4 < requests.jsonl
+    python -m repro resume --checkpoint session.ckpt
 """
 
 from __future__ import annotations
@@ -29,6 +31,8 @@ from repro.experiments import (
 )
 from repro.ml import available_algorithms
 from repro.runtime import available_backends
+from repro.service import CometService, serve_stream
+from repro.session import CleaningSession
 
 __all__ = ["main", "build_parser"]
 
@@ -57,6 +61,30 @@ def build_parser() -> argparse.ArgumentParser:
     _common_args(rec)
     rec.add_argument("-k", type=int, default=3, help="number of recommendations")
     rec.add_argument("--seed", type=int, default=0)
+
+    srv = sub.add_parser(
+        "serve",
+        help="serve many named cleaning sessions over JSON lines "
+             "(one request per stdin line, one response per stdout line)",
+    )
+    srv.add_argument(
+        "--no-checkpoint-io", action="store_true",
+        help="disable the checkpoint verbs (file write / pickle load at "
+             "request-supplied paths) for less-trusted request streams",
+    )
+    _backend_args(srv)
+
+    res = sub.add_parser(
+        "resume", help="resume a checkpointed cleaning session and run it out"
+    )
+    res.add_argument(
+        "--checkpoint", required=True, help="checkpoint written by session.save()"
+    )
+    res.add_argument(
+        "--save", help="write the finished session back to this checkpoint path"
+    )
+    res.add_argument("--trace", help="write the final trace as JSON to this path")
+    _backend_args(res)
     return parser
 
 
@@ -74,6 +102,10 @@ def _common_args(parser: argparse.ArgumentParser) -> None:
         "--costs", choices=("uniform", "paper"), default="uniform",
         help="cost model: uniform (single-error §4.2) or paper (multi-error)",
     )
+    _backend_args(parser)
+
+
+def _backend_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--backend", choices=available_backends(), default="serial",
         help="execution backend for the estimation sweep "
@@ -155,6 +187,54 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace, in_stream=None, out_stream=None) -> int:
+    """JSON-lines serving loop over a shared-backend session service."""
+    with CometService(
+        backend=args.backend,
+        jobs=args.jobs,
+        checkpoint_io=not args.no_checkpoint_io,
+    ) as service:
+        serve_stream(
+            service,
+            sys.stdin if in_stream is None else in_stream,
+            sys.stdout if out_stream is None else out_stream,
+        )
+    return 0
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    """Load a checkpoint, run it to completion, report the trace."""
+    with CleaningSession.load(
+        args.checkpoint, backend=args.backend, jobs=args.jobs
+    ) as session:
+        done_before = len(session.trace.records) if session.trace else 0
+        trace = session.run()
+        status = session.status()
+        if args.save:
+            session.save(args.save)
+    print(
+        f"resumed {args.checkpoint}: {done_before} recorded iterations, "
+        f"+{len(trace.records) - done_before} new"
+    )
+    print(
+        f"F1 {trace.initial_f1:.3f} -> {trace.final_f1:.3f} "
+        f"after {status['budget_spent']:g}/{status['budget_total']:g} budget units"
+    )
+    for record in trace.records[done_before:]:
+        marker = " (fallback)" if record.used_fallback else ""
+        print(
+            f"iteration {record.iteration:2d}: clean {record.feature:10s}"
+            f" cost={record.cost:.1f} spent={record.budget_spent:5.1f}"
+            f" F1 {record.f1_before:.3f} -> {record.f1_after:.3f}{marker}"
+        )
+    if args.trace:
+        trace.save(args.trace)
+        print(f"trace written to {args.trace}")
+    if args.save:
+        print(f"checkpoint written to {args.save}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -164,6 +244,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "recommend":
         return _cmd_recommend(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "resume":
+        return _cmd_resume(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -1,12 +1,20 @@
-"""The COMET session loop (Figure 2).
+"""The COMET session façade (Figure 2).
 
-One iteration: measure the current F1, run the Polluter + Estimator over
-every open (feature, error) candidate, let the Recommender select by score,
-have the Cleaner perform one cleaning step, keep it if the F1 did not
-decrease, otherwise revert into the cleaning buffer and try the next
-candidate; fall back to the historically best candidate when nothing is
-predicted to help. Repeats until the budget is spent or the Cleaner has
-marked every candidate clean.
+``Comet`` is the stable, single-session public API. Since the session
+protocol redesign it is a thin wrapper over :class:`~repro.session.
+CleaningSession` (the engine) and :class:`~repro.session.SessionState`
+(the serializable state): every attribute the historical monolithic class
+exposed — ``dataset``, ``budget``, ``buffer``, ``trace``, the private
+loop helpers — delegates to the session, so existing code keeps working
+while new code can checkpoint (``save``/``load``), observe, or serve
+sessions through the richer protocol.
+
+One deliberate semantic change rides along: the session owns a *single*
+cumulative trace. ``step()``/``iterate()`` now record into ``trace``
+(which the historical class left ``None`` until ``run()``), and ``run()``
+continues that trace instead of starting a fresh one per call — the
+behavior checkpoint/resume requires. Traces of seeded start-to-finish
+``run()`` calls are unchanged, bit for bit.
 """
 
 from __future__ import annotations
@@ -15,25 +23,14 @@ import warnings
 
 import numpy as np
 
-from repro.cleaning import (
-    Budget,
-    CleaningBuffer,
-    CostModel,
-    GroundTruthCleaner,
-    uniform_cost_model,
-)
+from repro.cleaning import CostModel
 from repro.core.config import CometConfig
-from repro.core.estimator import CometEstimator, Prediction
-from repro.core.recommender import CometRecommender, ScoredCandidate
+from repro.core.recommender import ScoredCandidate
 from repro.core.trace import CleaningTrace, IterationRecord
-from repro.errors.base import ErrorType, make_error
 from repro.errors.prepollution import PollutedDataset
 from repro.ml.base import BaseEstimator
-from repro.ml.model_selection import RandomSearch
-from repro.ml.pipeline import TabularModel
-from repro.ml.preprocessing import TabularPreprocessor
-from repro.ml.registry import hyperparameter_space, make_classifier
-from repro.runtime import ExecutionBackend, make_backend
+from repro.runtime import ExecutionBackend
+from repro.session import CleaningSession
 
 __all__ = ["Comet"]
 
@@ -89,71 +86,58 @@ class Comet:
         backend: str | ExecutionBackend = "serial",
         jobs: int = 1,
     ) -> None:
-        self.config = config or CometConfig()
-        self.task = task
-        self.dataset = dataset.copy()
-        self._rng = np.random.default_rng(rng)
-        if isinstance(algorithm, str):
-            self.algorithm_name = algorithm
-            self.model = make_classifier(algorithm)
-        else:
-            self.algorithm_name = type(algorithm).__name__
-            self.model = algorithm
-        if not isinstance(error_types, (list, tuple)):
-            error_types = [error_types]
-        self.errors: list[ErrorType] = [
-            make_error(e) if isinstance(e, str) else e for e in error_types
-        ]
-        if not self.errors:
-            raise ValueError("need at least one error type")
-        self.budget = Budget(budget)
-        self.cost_model = (cost_model or uniform_cost_model()).copy()
-        self.cleaner = cleaner or GroundTruthCleaner(
-            step=self.config.step, rng=self._rng.integers(2**63)
+        self._session = CleaningSession.create(
+            dataset,
+            algorithm=algorithm,
+            error_types=error_types,
+            budget=budget,
+            cost_model=cost_model,
+            config=config,
+            rng=rng,
+            task=task,
+            cleaner=cleaner,
+            backend=backend,
+            jobs=jobs,
+            own_backend=True,
         )
-        self.buffer = CleaningBuffer()
-        self.recommender = CometRecommender(self.config)
-        self.backend = make_backend(backend, jobs)
-        if self.config.search_iterations > 0 and isinstance(algorithm, str):
-            self._tune_model()
-        self.estimator = CometEstimator(
-            self.model,
-            label=self.dataset.label,
-            config=self.config,
-            rng=self._rng.integers(2**63),
-            task=self.task,
+
+    # ------------------------------------------------------------------ #
+    # the session protocol underneath
+    # ------------------------------------------------------------------ #
+    @property
+    def session(self) -> CleaningSession:
+        """The underlying :class:`~repro.session.CleaningSession` engine."""
+        return self._session
+
+    def save(self, path) -> None:
+        """Checkpoint the session state; resume with :meth:`Comet.load`."""
+        self._session.save(path)
+
+    @classmethod
+    def load(
+        cls,
+        path,
+        *,
+        backend: str | ExecutionBackend = "serial",
+        jobs: int = 1,
+    ) -> "Comet":
+        """Resume a checkpointed session behind the ``Comet`` façade."""
+        comet = cls.__new__(cls)
+        comet._session = CleaningSession.load(
+            path, backend=backend, jobs=jobs, own_backend=True
         )
-        # COMET assumes every feature is dirty until the Cleaner marks it
-        # clean (§3.1); candidates are all applicable (feature, error) pairs.
-        self._active: list[tuple[str, str]] = [
-            (feature, error.name)
-            for feature in self.dataset.feature_names
-            for error in self.errors
-            if error.applies_to(self.dataset.train[feature])
-        ]
-        self._error_by_name = {e.name: e for e in self.errors}
-        self._current_f1: float | None = None
-        self._iteration = 0
-        self.trace: CleaningTrace | None = None
+        return comet
 
     # ------------------------------------------------------------------ #
     # public API
     # ------------------------------------------------------------------ #
     def run(self) -> CleaningTrace:
         """Iterate until the budget is spent or everything is marked clean."""
-        self.trace = CleaningTrace(initial_f1=self._baseline())
-        while True:
-            records = self.iterate()
-            if not records:
-                break
-            for record in records:
-                self.trace.append(record)
-        return self.trace
+        return self._session.run()
 
     def step(self) -> IterationRecord | None:
         """Run one COMET iteration (single cleaning); ``None`` when over."""
-        records = self.iterate(max_accepts=1)
-        return records[0] if records else None
+        return self._session.step()
 
     def iterate(self, max_accepts: int | None = None) -> list[IterationRecord]:
         """One estimation sweep, cleaning up to ``max_accepts`` candidates.
@@ -163,20 +147,7 @@ class Comet:
         Polluter/Estimator sweep is paid once and several ranked candidates
         are cleaned from it.
         """
-        if not self._active or self.budget.exhausted():
-            return []
-        if max_accepts is None:
-            max_accepts = self.config.batch_size
-        baseline = self._baseline()
-        predictions = self._estimate_candidates(baseline)
-        ranked = self.recommender.rank(predictions, baseline, self.cost_model)
-        self._iteration += 1
-        records = self._try_candidates(ranked, baseline, max_accepts)
-        if not records:
-            fallback = self._fallback(predictions, baseline)
-            if fallback is not None:
-                records = [fallback]
-        return records
+        return self._session.iterate(max_accepts)
 
     def recommend(self, k: int = 1) -> list[ScoredCandidate]:
         """Pure recommendation: the top-``k`` scored candidates, no cleaning.
@@ -185,19 +156,12 @@ class Comet:
         (with predicted F1, uncertainty, and cost) without touching data or
         budget.
         """
-        if k < 1:
-            raise ValueError("k must be >= 1")
-        if not self._active:
-            return []
-        baseline = self._baseline()
-        predictions = self._estimate_candidates(baseline)
-        ranked = self.recommender.rank(predictions, baseline, self.cost_model)
-        return ranked[:k]
+        return self._session.recommend(k)
 
     @property
     def is_finished(self) -> bool:
         """True once the budget is spent or nothing is left to clean."""
-        return not self._active or self.budget.exhausted()
+        return self._session.is_finished
 
     def close(self) -> None:
         """Release the execution backend's worker pool (if any).
@@ -205,7 +169,7 @@ class Comet:
         Safe to call repeatedly; the session stays usable afterwards
         (pooled backends restart lazily on the next sweep).
         """
-        self.backend.shutdown()
+        self._session.close()
 
     def __enter__(self) -> "Comet":
         return self
@@ -215,20 +179,11 @@ class Comet:
 
     def open_candidates(self) -> list[tuple[str, str]]:
         """(feature, error) pairs the Cleaner has not yet marked clean."""
-        return list(self._active)
-
-    # ------------------------------------------------------------------ #
-    # internals
-    # ------------------------------------------------------------------ #
-    def _baseline(self) -> float:
-        if self._current_f1 is None:
-            self._current_f1 = self.measure_baseline()
-        return self._current_f1
+        return self._session.open_candidates()
 
     def measure_baseline(self) -> float:
         """Fit on the current train split and score the test split."""
-        model = TabularModel(self.model, label=self.dataset.label, task=self.task)
-        return model.fit_score(self.dataset.train, self.dataset.test)
+        return self._session.measure_baseline()
 
     def estimator_measure_baseline(self) -> float:
         """Deprecated alias for :meth:`measure_baseline`."""
@@ -240,146 +195,189 @@ class Comet:
         )
         return self.measure_baseline()
 
-    def _estimate_candidates(self, baseline: float) -> list[Prediction]:
-        candidates = [
-            (feature, self._error_by_name[error_name])
-            for feature, error_name in self._active
-        ]
-        return self.estimator.estimate_many(
-            self.dataset.train,
-            self.dataset.test,
-            candidates,
-            baseline,
-            backend=self.backend,
-        )
+    # ------------------------------------------------------------------ #
+    # historical attribute surface (reads and writes pass through to the
+    # session, so assignments like ``comet.budget = Budget(20)`` keep
+    # working exactly as they did on the monolithic class)
+    # ------------------------------------------------------------------ #
+    @property
+    def config(self) -> CometConfig:
+        """Loop hyperparameters."""
+        return self._session.state.config
 
-    def _try_candidates(
-        self, ranked: list[ScoredCandidate], baseline: float, max_accepts: int = 1
-    ) -> list[IterationRecord]:
-        """Steps (C) and (D): clean by score, revert on decrease.
+    @config.setter
+    def config(self, value: CometConfig) -> None:
+        self._session.state.config = value
 
-        Accepts up to ``max_accepts`` candidates from the same ranking;
-        each accepted cleaning becomes the baseline for the next.
-        """
-        records: list[IterationRecord] = []
-        rejected: list[tuple[str, str]] = []
-        for candidate in ranked:
-            pair = (candidate.feature, candidate.error)
-            if pair not in self._active:
-                continue  # a previous accept in this sweep finished it
-            from_buffer = pair in self.buffer
-            if not from_buffer and not self.budget.can_afford(candidate.cost):
-                continue
-            cost = self._perform_cleaning(candidate.feature, candidate.error, candidate.prediction)
-            f1_after = self.measure_baseline()
-            self.estimator.record_outcome(candidate.prediction, f1_after)
-            self.recommender.record_outcome(candidate.feature, candidate.error, f1_after)
-            if f1_after >= baseline - 1e-12 or not self.config.revert_on_decrease:
-                self._accept(pair, f1_after)
-                records.append(
-                    IterationRecord(
-                        iteration=self._iteration,
-                        feature=candidate.feature,
-                        error=candidate.error,
-                        cost=cost,
-                        budget_spent=self.budget.spent,
-                        f1_before=baseline,
-                        f1_after=f1_after,
-                        predicted_f1=candidate.prediction.predicted_f1,
-                        from_buffer=from_buffer,
-                        rejected=list(rejected),
-                    )
-                )
-                if len(records) >= max_accepts:
-                    return records
-                baseline = f1_after
-                rejected = []
-                continue
-            self._revert_last(pair)
-            rejected.append(pair)
-        return records
+    @property
+    def task(self) -> str:
+        """``"classification"`` or ``"regression"``."""
+        return self._session.state.task
 
-    def _fallback(
-        self, predictions: list[Prediction], baseline: float
-    ) -> IterationRecord | None:
-        """Step (E): clean the historically best candidate, keep the result."""
-        affordable = [
-            pair
-            for pair in self._active
-            if (pair in self.buffer)
-            or self.budget.can_afford(self.cost_model.next_cost(*pair))
-        ]
-        pair = self.recommender.fallback_candidate(affordable)
-        if pair is None:
-            return None
-        feature, error_name = pair
-        prediction = next(
-            (p for p in predictions if (p.feature, p.error) == pair), None
-        )
-        cost = self._perform_cleaning(feature, error_name, prediction)
-        f1_after = self.measure_baseline()
-        if prediction is not None:
-            self.estimator.record_outcome(prediction, f1_after)
-        self.recommender.record_outcome(feature, error_name, f1_after)
-        self._accept(pair, f1_after)
-        return IterationRecord(
-            iteration=self._iteration,
-            feature=feature,
-            error=error_name,
-            cost=cost,
-            budget_spent=self.budget.spent,
-            f1_before=baseline,
-            f1_after=f1_after,
-            predicted_f1=prediction.predicted_f1 if prediction else None,
-            used_fallback=True,
-        )
+    @task.setter
+    def task(self, value: str) -> None:
+        self._session.state.task = value
 
-    def _perform_cleaning(
-        self, feature: str, error: str, prediction: Prediction | None
-    ) -> float:
-        """Replay from the buffer when possible, otherwise pay the Cleaner."""
-        buffered = self.buffer.pop(feature, error)
-        if buffered is not None:
-            self.cleaner.apply(self.dataset, buffered)
-            self._last_action = buffered
-            return 0.0
-        cost = self.cost_model.record_step(feature, error)
-        self.budget.charge(cost)
-        priority = prediction.polluted_rows if prediction is not None else None
-        self._last_action = self.cleaner.clean_step(
-            self.dataset, feature, error, priority_train_rows=priority
-        )
-        return cost
+    @property
+    def dataset(self) -> PollutedDataset:
+        """The session's working dataset copy."""
+        return self._session.state.dataset
+
+    @dataset.setter
+    def dataset(self, value: PollutedDataset) -> None:
+        self._session.state.dataset = value
+
+    @property
+    def algorithm_name(self) -> str:
+        """Registry (or class) name of the ML algorithm."""
+        return self._session.state.algorithm_name
+
+    @algorithm_name.setter
+    def algorithm_name(self, value: str) -> None:
+        self._session.state.algorithm_name = value
+
+    @property
+    def model(self) -> BaseEstimator:
+        """The model instance the session trains."""
+        return self._session.state.model
+
+    @model.setter
+    def model(self, value: BaseEstimator) -> None:
+        self._session.state.model = value
+
+    @property
+    def errors(self) -> list:
+        """Error types under consideration."""
+        return self._session.state.errors
+
+    @errors.setter
+    def errors(self, value: list) -> None:
+        self._session.state.errors = list(value)
+        self._session._error_by_name = {e.name: e for e in self._session.state.errors}
+
+    @property
+    def budget(self):
+        """Cleaning budget ledger."""
+        return self._session.state.budget
+
+    @budget.setter
+    def budget(self, value) -> None:
+        self._session.state.budget = value
+
+    @property
+    def cost_model(self) -> CostModel:
+        """Per-(feature, error) cost functions with step history."""
+        return self._session.state.cost_model
+
+    @cost_model.setter
+    def cost_model(self, value: CostModel) -> None:
+        self._session.state.cost_model = value
+
+    @property
+    def cleaner(self):
+        """The Cleaner performing (and reverting) cleaning steps."""
+        return self._session.state.cleaner
+
+    @cleaner.setter
+    def cleaner(self, value) -> None:
+        self._session.state.cleaner = value
+
+    @property
+    def buffer(self):
+        """Reverted cleaning steps kept for free replay."""
+        return self._session.state.buffer
+
+    @buffer.setter
+    def buffer(self, value) -> None:
+        self._session.state.buffer = value
+
+    @property
+    def recommender(self):
+        """The Recommender (scoring, ranking, fallback memory)."""
+        return self._session.recommender
+
+    @recommender.setter
+    def recommender(self, value) -> None:
+        self._session.recommender = value
+
+    @property
+    def estimator(self):
+        """The Estimator (E1 sweep + E2 prediction)."""
+        return self._session.estimator
+
+    @estimator.setter
+    def estimator(self, value) -> None:
+        self._session.estimator = value
+
+    @property
+    def backend(self) -> ExecutionBackend:
+        """Execution backend of the estimation sweep."""
+        return self._session.backend
+
+    @backend.setter
+    def backend(self, value: ExecutionBackend) -> None:
+        self._session.backend = value
+
+    @property
+    def trace(self) -> CleaningTrace | None:
+        """The trace accumulated so far (``None`` before the first sweep)."""
+        return self._session.state.trace
+
+    @trace.setter
+    def trace(self, value: CleaningTrace | None) -> None:
+        self._session.state.trace = value
+
+    # The private loop surface below is delegated (not just internal):
+    # the behavioral test-suite drives the loop piecewise through it.
+    @property
+    def _active(self) -> list:
+        return self._session.state.active
+
+    @_active.setter
+    def _active(self, value: list) -> None:
+        self._session.state.active = value
+
+    @property
+    def _current_f1(self) -> float | None:
+        return self._session.state.current_f1
+
+    @_current_f1.setter
+    def _current_f1(self, value: float | None) -> None:
+        self._session.state.current_f1 = value
+
+    @property
+    def _iteration(self) -> int:
+        return self._session.state.iteration
+
+    @_iteration.setter
+    def _iteration(self, value: int) -> None:
+        self._session.state.iteration = value
+
+    @property
+    def _last_action(self):
+        return self._session.state.last_action
+
+    @_last_action.setter
+    def _last_action(self, value) -> None:
+        self._session.state.last_action = value
+
+    def _baseline(self) -> float:
+        return self._session._baseline()
+
+    def _estimate_candidates(self, baseline: float):
+        return self._session._estimate_candidates(baseline)
+
+    def _try_candidates(self, ranked, baseline, max_accepts: int = 1):
+        return self._session._try_candidates(ranked, baseline, max_accepts)
+
+    def _fallback(self, predictions, baseline):
+        return self._session._fallback(predictions, baseline)
+
+    def _perform_cleaning(self, feature: str, error: str, prediction) -> float:
+        return self._session._perform_cleaning(feature, error, prediction)
 
     def _revert_last(self, pair: tuple[str, str]) -> None:
-        self.cleaner.revert(self.dataset, self._last_action)
-        self.buffer.put(self._last_action)
-        # The revert restores exactly the data state `_current_f1` was
-        # measured on (rejected trials never overwrite the memo — only
-        # `_accept` does), so the cached baseline stays valid.
+        self._session._revert_last(pair)
 
     def _accept(self, pair: tuple[str, str], f1_after: float) -> None:
-        self._current_f1 = f1_after
-        feature, error = pair
-        train_clean = self.dataset.dirty_train.dirty_count(feature, error) == 0
-        test_clean = self.dataset.dirty_test.dirty_count(feature, error) == 0
-        if train_clean and test_clean and pair in self._active:
-            # The Cleaner observed no (remaining) dirt — marks the pair clean.
-            self._active.remove(pair)
-
-    def _tune_model(self) -> None:
-        """The paper's 10-sample random hyperparameter search (§4.4)."""
-        space = hyperparameter_space(self.algorithm_name)
-        label = self.dataset.label
-        features = self.dataset.feature_names
-        preprocessor = TabularPreprocessor(features).fit(self.dataset.train)
-        X = preprocessor.transform(self.dataset.train)
-        y = self.dataset.train.label_array(label)
-        search = RandomSearch(
-            self.model,
-            space,
-            n_iter=self.config.search_iterations,
-            rng=self._rng.integers(2**63),
-        )
-        search.fit(X, y)
-        self.model.set_params(**search.best_params_)
+        self._session._accept(pair, f1_after)

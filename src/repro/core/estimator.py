@@ -83,6 +83,7 @@ class CometEstimator:
         config: CometConfig | None = None,
         rng: np.random.Generator | int | None = None,
         task: str = "classification",
+        history: dict[tuple[str, str], list[float]] | None = None,
     ) -> None:
         self.estimator = estimator
         self.label = label
@@ -90,7 +91,11 @@ class CometEstimator:
         self.task = task
         self._rng = np.random.default_rng(rng)
         #: (feature, error) → list of observed (actual − predicted) F1 gaps.
-        self._discrepancies: dict[tuple[str, str], list[float]] = {}
+        #: ``history`` is adopted *by reference*, so a caller-owned dict
+        #: (e.g. a checkpointable ``SessionState``) tracks every update.
+        self._discrepancies: dict[tuple[str, str], list[float]] = (
+            history if history is not None else {}
+        )
 
     # ------------------------------------------------------------------ #
     # E1: pollution effect measurement

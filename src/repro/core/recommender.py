@@ -43,10 +43,18 @@ class ScoredCandidate:
 class CometRecommender:
     """Ranks predictions and remembers past outcomes for the fallback."""
 
-    def __init__(self, config: CometConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: CometConfig | None = None,
+        history: dict[tuple[str, str], float] | None = None,
+    ) -> None:
         self.config = config or CometConfig()
         #: (feature, error) → best F1 ever realized right after cleaning it.
-        self._best_realized: dict[tuple[str, str], float] = {}
+        #: ``history`` is adopted *by reference*, so a caller-owned dict
+        #: (e.g. a checkpointable ``SessionState``) tracks every update.
+        self._best_realized: dict[tuple[str, str], float] = (
+            history if history is not None else {}
+        )
 
     def rank(
         self,

@@ -34,6 +34,10 @@ class IterationRecord:
         """F1 change of this iteration (after minus before)."""
         return self.f1_after - self.f1_before
 
+    def to_dict(self) -> dict:
+        """JSON-safe representation (tuples in ``rejected`` become lists)."""
+        return {**asdict(self), "rejected": [list(pair) for pair in self.rejected]}
+
 
 @dataclass
 class CleaningTrace:
@@ -91,10 +95,7 @@ class CleaningTrace:
         """Plain-python representation (round-trips via :meth:`from_dict`)."""
         return {
             "initial_f1": self.initial_f1,
-            "records": [
-                {**asdict(r), "rejected": [list(pair) for pair in r.rejected]}
-                for r in self.records
-            ],
+            "records": [r.to_dict() for r in self.records],
         }
 
     @classmethod

@@ -10,6 +10,8 @@ setting — matching how the paper treats these datasets as given).
 
 from __future__ import annotations
 
+import zlib
+
 import numpy as np
 
 from repro.datasets.registry import load_dataset
@@ -46,9 +48,10 @@ def load_cleanml(
     error_name = CLEANML_ERRORS[key]
     dataset = load_dataset(key, n_rows=n_rows)
     # The dirt pattern is a fixed dataset property: derive it from the
-    # dataset seed, independent of the caller's rng (which only controls
-    # the split).
-    dirt_rng = np.random.default_rng(hash(key) % (2**32))
+    # dataset name, independent of the caller's rng (which only controls
+    # the split). crc32, not hash(): str hashing is salted per process
+    # (PYTHONHASHSEED), which would make the "fixed" dirt differ run to run.
+    dirt_rng = np.random.default_rng(zlib.crc32(key.encode()))
     clean_train, clean_test = dataset.split(test_size=test_size, rng=rng)
     pre = PrePollution([error_name], step=0.01, rng=dirt_rng)
     applicable = [

@@ -13,6 +13,7 @@ and leaving it shuts the pool down.
 from __future__ import annotations
 
 import abc
+import threading
 import warnings
 from concurrent.futures import (
     BrokenExecutor,
@@ -70,36 +71,58 @@ class SerialBackend(ExecutionBackend):
 
 
 class _PooledBackend(ExecutionBackend):
-    """Shared lazy-pool plumbing for the thread and process backends."""
+    """Shared lazy-pool plumbing for the thread and process backends.
+
+    Lifecycle transitions are lock-protected: one backend instance may be
+    shared by many sessions dispatching from different threads (the
+    ``repro.service`` topology), and the lazy first ``map`` must create
+    exactly one pool — not one per racing caller.
+    """
 
     def __init__(self, workers: int = 2) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
         self._pool: Executor | None = None
+        self._lifecycle = threading.Lock()
 
     @abc.abstractmethod
     def _make_pool(self) -> Executor:
         """Construct the executor backing this backend."""
 
     def start(self) -> None:
-        """Acquire worker resources (idempotent)."""
-        if self._pool is None:
-            self._pool = self._make_pool()
+        """Acquire worker resources (idempotent, thread-safe)."""
+        self._acquire_pool()
+
+    def _acquire_pool(self) -> Executor:
+        with self._lifecycle:
+            if self._pool is None:
+                self._pool = self._make_pool()
+            return self._pool
 
     def shutdown(self) -> None:
-        """Release worker resources (idempotent)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        """Release worker resources (idempotent, thread-safe)."""
+        with self._lifecycle:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def map(self, fn: Callable, tasks: Iterable) -> list:
-        """Apply ``fn`` to every task; results come back in task order."""
+        """Apply ``fn`` to every task; results come back in task order.
+
+        Concurrent ``map`` calls from different threads are safe (they
+        share one pool). ``shutdown`` is safe to race with *idle* maps —
+        the next dispatch lazily rebuilds the pool — but shutting down
+        while a dispatch is in flight surfaces as an executor error in
+        that dispatch; callers owning a shared backend (the service)
+        must drain their sessions before shutting it down.
+        """
         tasks = list(tasks) if not isinstance(tasks, Sequence) else tasks
         if not tasks:
             return []
-        self.start()
-        return list(self._pool.map(fn, tasks))
+        # Local reference so a racing shutdown() cannot None the pool
+        # between the acquire and the dispatch.
+        return list(self._acquire_pool().map(fn, tasks))
 
 
 class ThreadBackend(_PooledBackend):
@@ -155,8 +178,7 @@ class ProcessBackend(_PooledBackend):
         if self._degraded:
             return [fn(task) for task in tasks]
         try:
-            self.start()
-            return list(self._pool.map(fn, tasks))
+            return list(self._acquire_pool().map(fn, tasks))
         except (BrokenExecutor, OSError, PermissionError) as exc:
             self.shutdown()
             self._degraded = True

@@ -1,0 +1,14 @@
+"""Serving façade: many named cleaning sessions over one shared backend.
+
+Built on the session protocol (``repro.session``): the service holds a
+registry of named :class:`~repro.session.CleaningSession` objects, all
+dispatching their estimation sweeps through a single shared
+``repro.runtime`` backend, and exposes JSON request/response handlers
+(``create`` / ``recommend`` / ``step`` / ``run`` / ``status`` /
+``checkpoint`` / ``close``) plus a JSON-lines stream loop for the CLI's
+``serve`` subcommand.
+"""
+
+from repro.service.service import CometService, serve_stream
+
+__all__ = ["CometService", "serve_stream"]

@@ -1,0 +1,361 @@
+"""The multi-session cleaning service.
+
+:class:`CometService` manages many *named* :class:`~repro.session.
+CleaningSession` instances over **one shared** ``repro.runtime`` backend:
+a single worker pool serves every session's E1 sweep, so concurrent
+sessions share capacity instead of each spawning their own pool. Because
+every session's randomness lives in its own :class:`~repro.session.
+SessionState`, concurrently served sessions produce exactly the traces
+isolated runs would (the determinism contract is per-state, and the
+shared backend only changes *where* fit-score tasks execute).
+
+Two API layers:
+
+- a programmatic one (``create_session`` / ``load_session`` /
+  ``session`` / ``close_session``) handing out live session objects;
+- a JSON request/response one (:meth:`CometService.handle`) with the
+  verbs ``create``, ``recommend``, ``step``, ``run``, ``status``,
+  ``checkpoint``, and ``close`` — the CLI's ``serve`` subcommand wires
+  it to a JSON-lines stream via :func:`serve_stream`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.experiments import Configuration, build_polluted
+from repro.runtime import ExecutionBackend, make_backend
+from repro.session import CleaningSession, SessionState
+
+__all__ = ["CometService", "serve_stream"]
+
+
+class CometService:
+    """Serve many named cleaning sessions over one shared backend.
+
+    Parameters
+    ----------
+    backend:
+        Registry name or :class:`~repro.runtime.ExecutionBackend`
+        instance shared by every session the service manages.
+    jobs:
+        Worker count for pooled backends; ``1`` falls back to serial.
+    checkpoint_io:
+        Whether the JSON layer may touch the filesystem: the
+        ``checkpoint`` verb (writes a file at a caller-supplied path)
+        and ``create``'s ``checkpoint`` field (unpickles a
+        caller-supplied file — code execution if the file is hostile).
+        Disable when the request stream is less trusted than the
+        operator; the programmatic API is unaffected.
+
+    The service is thread-safe: the session registry is lock-protected
+    and each session additionally has its own lock, so handlers for
+    *different* sessions run concurrently (sharing the worker pool)
+    while requests against the *same* session serialize.
+    """
+
+    def __init__(
+        self,
+        backend: str | ExecutionBackend = "serial",
+        jobs: int = 1,
+        checkpoint_io: bool = True,
+    ) -> None:
+        self.backend = make_backend(backend, jobs)
+        self.checkpoint_io = checkpoint_io
+        self._sessions: dict[str, CleaningSession] = {}
+        self._session_locks: dict[str, threading.Lock] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # programmatic API
+    # ------------------------------------------------------------------ #
+    def create_session(self, name: str, dataset, **kwargs) -> CleaningSession:
+        """Register a fresh session under ``name`` (a polluted dataset in
+        hand; keyword arguments as in :meth:`CleaningSession.create`)."""
+        return self._build_session(
+            name,
+            lambda: CleaningSession.create(
+                dataset, backend=self.backend, own_backend=False, **kwargs
+            ),
+        )
+
+    def load_session(self, name: str, path) -> CleaningSession:
+        """Register a checkpointed session under ``name``.
+
+        The checkpoint is a pickle (see :meth:`SessionState.load`); only
+        load paths the service operator trusts.
+        """
+        return self._build_session(
+            name,
+            lambda: CleaningSession.load(
+                path, backend=self.backend, own_backend=False
+            ),
+        )
+
+    def adopt_session(self, name: str, state: SessionState) -> CleaningSession:
+        """Register an existing state under ``name`` (shared backend)."""
+        return self._build_session(
+            name,
+            lambda: CleaningSession(state, backend=self.backend, own_backend=False),
+        )
+
+    def session(self, name: str) -> CleaningSession:
+        """The live session registered under ``name``."""
+        with self._lock:
+            session = self._sessions.get(name)
+        if session is None:
+            raise KeyError(f"no session named {name!r}")
+        return session
+
+    def names(self) -> list[str]:
+        """Names of all fully registered sessions, sorted."""
+        with self._lock:
+            return sorted(n for n, s in self._sessions.items() if s is not None)
+
+    def close_session(self, name: str) -> None:
+        """Drop a session from the registry (the shared backend stays up)."""
+        with self._lock:
+            if self._sessions.get(name) is None:  # absent or still being built
+                raise KeyError(f"no session named {name!r}")
+            del self._sessions[name]
+            del self._session_locks[name]
+
+    def shutdown(self) -> None:
+        """Drop every session, drain in-flight requests, shut the backend.
+
+        Acquiring every session lock before the backend goes down lets
+        running handlers finish their dispatch first (the drain the
+        backend layer requires); requests arriving afterwards get a
+        "service is shut down" error response.
+        """
+        with self._lock:
+            self._closed = True
+            locks = list(self._session_locks.values())
+            self._sessions.clear()
+            self._session_locks.clear()
+        for lock in locks:
+            lock.acquire()
+        try:
+            self.backend.shutdown()
+        finally:
+            for lock in locks:
+                lock.release()
+
+    def __enter__(self) -> "CometService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def _build_session(self, name: str, builder) -> CleaningSession:
+        """Reserve ``name``, then build — so a duplicate name fails fast
+        instead of after the (potentially expensive) session construction,
+        and two concurrent creates for one name cannot both build."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("service is shut down")
+            if name in self._sessions:
+                raise ValueError(f"session {name!r} already exists")
+            self._sessions[name] = None  # reservation placeholder
+        try:
+            session = builder()
+        except BaseException:
+            with self._lock:
+                self._sessions.pop(name, None)
+            raise
+        with self._lock:
+            self._sessions[name] = session
+            self._session_locks[name] = threading.Lock()
+        return session
+
+    def _locked(self, name: str) -> tuple[CleaningSession, threading.Lock]:
+        with self._lock:
+            session = self._sessions.get(name)
+            lock = self._session_locks.get(name)
+        if session is None or lock is None:
+            raise KeyError(f"no session named {name!r}")
+        return session, lock
+
+    # ------------------------------------------------------------------ #
+    # JSON request/response API
+    # ------------------------------------------------------------------ #
+    def handle(self, request: dict) -> dict:
+        """Dispatch one JSON-style request.
+
+        Requests are ``{"action": <verb>, ...}``; responses are
+        ``{"ok": true, "result": ...}`` or ``{"ok": false, "error": ...}``.
+        """
+        try:
+            action = request.get("action")
+            handler = {
+                "create": self._handle_create,
+                "recommend": self._handle_recommend,
+                "step": self._handle_step,
+                "run": self._handle_run,
+                "status": self._handle_status,
+                "checkpoint": self._handle_checkpoint,
+                "close": self._handle_close,
+            }.get(action)
+            if handler is None:
+                raise ValueError(
+                    f"unknown action {action!r}; expected one of create, "
+                    "recommend, step, run, status, checkpoint, close"
+                )
+            return {"ok": True, "result": handler(request)}
+        except Exception as exc:  # noqa: BLE001 — every failure becomes a response
+            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+
+    def _handle_create(self, request: dict) -> dict:
+        # Parameter defaults follow the library/paper (step 0.01, full
+        # dataset rows) rather than the CLI's laptop-scale defaults —
+        # service callers state their scenario explicitly. A `checkpoint`
+        # path loads a pickle; expose this verb only to trusted callers.
+        name = _required(request, "name")
+        checkpoint = request.get("checkpoint")
+        if checkpoint is not None:
+            self._require_checkpoint_io()
+            session = self.load_session(name, checkpoint)
+        else:
+            params = request.get("params", {})
+            config = Configuration(
+                dataset=_required(params, "dataset"),
+                algorithm=params.get("algorithm", "svm"),
+                error_types=tuple(params.get("errors", ("missing",))),
+                n_rows=params.get("rows"),
+                budget=float(params.get("budget", 50.0)),
+                step=float(params.get("step", 0.01)),
+                cost_model=params.get("cost_model", "uniform"),
+                cleanml=bool(params.get("cleanml", False)),
+            )
+            polluted = build_polluted(config, seed=int(params.get("seed", 0)))
+            session = self.create_session(
+                name,
+                polluted,
+                algorithm=config.algorithm,
+                error_types=list(config.error_types),
+                budget=config.budget,
+                cost_model=config.make_cost_model(),
+                config=config.make_comet_config(),
+                rng=int(params.get("seed", 0)),
+            )
+        return {"name": name, **session.status()}
+
+    def _handle_recommend(self, request: dict) -> dict:
+        session, lock = self._locked(_required(request, "name"))
+        k = int(request.get("k", 3))
+        with lock:
+            candidates = session.recommend(k=k)
+        return {
+            "candidates": [
+                {
+                    "feature": c.feature,
+                    "error": c.error,
+                    "predicted_f1": c.prediction.predicted_f1,
+                    "uncertainty": c.prediction.uncertainty,
+                    "gain": c.gain,
+                    "cost": c.cost,
+                    "score": c.score,
+                }
+                for c in candidates
+            ]
+        }
+
+    def _handle_step(self, request: dict) -> dict:
+        session, lock = self._locked(_required(request, "name"))
+        with lock:
+            record = session.step()
+            return {
+                "record": record.to_dict() if record is not None else None,
+                "finished": session.is_finished,
+            }
+
+    def _handle_run(self, request: dict) -> dict:
+        session, lock = self._locked(_required(request, "name"))
+        max_iterations = request.get("max_iterations")
+        with lock:
+            if max_iterations is None:
+                trace = session.run()
+            else:
+                for __ in range(int(max_iterations)):
+                    if not session.iterate():
+                        break
+                trace = session.trace
+            return {
+                "trace": trace.to_dict() if trace is not None else None,
+                "finished": session.is_finished,
+            }
+
+    def _handle_status(self, request: dict) -> dict:
+        name = request.get("name")
+        if name is None:
+            return {
+                "sessions": self.names(),
+                "backend": self.backend.name,
+                "workers": self.backend.workers,
+            }
+        session, lock = self._locked(name)
+        with lock:
+            return {"name": name, **session.status()}
+
+    def _handle_checkpoint(self, request: dict) -> dict:
+        self._require_checkpoint_io()
+        session, lock = self._locked(_required(request, "name"))
+        path = _required(request, "path")
+        with lock:
+            session.save(path)
+        return {"path": str(path)}
+
+    def _require_checkpoint_io(self) -> None:
+        if not self.checkpoint_io:
+            raise PermissionError(
+                "checkpoint I/O is disabled for this service "
+                "(start it with checkpoint_io=True / without --no-checkpoint-io)"
+            )
+
+    def _handle_close(self, request: dict) -> dict:
+        name = _required(request, "name")
+        self.close_session(name)
+        return {"closed": name}
+
+
+def _required(mapping: dict, key: str):
+    value = mapping.get(key)
+    if value is None:
+        raise ValueError(f"missing required field {key!r}")
+    return value
+
+
+def serve_stream(service: CometService, in_stream, out_stream) -> int:
+    """Serve JSON-lines requests from ``in_stream`` until EOF or shutdown.
+
+    One JSON request per line in, one JSON response per line out. Blank
+    lines are skipped; invalid JSON yields an error response rather than
+    terminating the loop. The extra stream-level verb ``shutdown`` stops
+    serving (the CLI's ``serve`` subcommand builds on this). Returns the
+    number of requests handled.
+    """
+    handled = 0
+    for line in in_stream:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            request = json.loads(line)
+        except json.JSONDecodeError as exc:
+            response = {"ok": False, "error": f"invalid JSON: {exc}"}
+        else:
+            if isinstance(request, dict) and request.get("action") == "shutdown":
+                print(json.dumps({"ok": True, "result": {"shutdown": True}}),
+                      file=out_stream, flush=True)
+                handled += 1
+                break
+            response = (
+                service.handle(request)
+                if isinstance(request, dict)
+                else {"ok": False, "error": "request must be a JSON object"}
+            )
+        print(json.dumps(response), file=out_stream, flush=True)
+        handled += 1
+    return handled

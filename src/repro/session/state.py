@@ -1,0 +1,169 @@
+"""The serializable core of a cleaning session.
+
+:class:`SessionState` is a plain dataclass holding *everything* a COMET
+run needs to continue — the (mutated) dataset, budget and cost ledgers,
+the cleaning buffer, the open candidates, the Recommender's and
+Estimator's outcome history, the trace so far, and the RNG generators
+whose bit-generator state drives every remaining random draw. It contains
+no engine objects (no backend, no worker pools, no observers), which is
+what makes it checkpointable: pickling the state and loading it later
+resumes the run *bit-identically* — numpy ``Generator`` pickles preserve
+both the stream position and the ``spawn`` counter, so a resumed session
+consumes exactly the random numbers an uninterrupted one would.
+
+Checkpoints are a versioned envelope around the pickled state, so future
+format changes can be detected (and migrated) instead of failing
+obscurely.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.cleaning import Budget, CleaningBuffer, CostModel
+from repro.cleaning.cleaner import CleaningAction
+from repro.core.config import CometConfig
+from repro.core.trace import CleaningTrace
+from repro.errors.base import ErrorType
+from repro.errors.prepollution import PollutedDataset
+from repro.ml.base import BaseEstimator
+
+__all__ = ["SessionState", "CHECKPOINT_FORMAT", "CHECKPOINT_VERSION"]
+
+#: Identifies a file as a repro session checkpoint.
+CHECKPOINT_FORMAT = "repro.session.checkpoint"
+#: Bump when the state layout changes incompatibly.
+CHECKPOINT_VERSION = 1
+
+
+@dataclass
+class SessionState:
+    """Complete, serializable state of one cleaning session.
+
+    The engine (:class:`~repro.session.CleaningSession`) reads and writes
+    these fields in place; stateful members (dataset, budget, buffer,
+    cleaner, RNGs, history dicts) are shared by reference with the engine
+    components, so the state is always current and :meth:`save` can be
+    called at any iteration boundary.
+    """
+
+    #: Loop hyperparameters (immutable over the session).
+    config: CometConfig
+    #: ``"classification"`` or ``"regression"``.
+    task: str
+    #: Registry name (or class name) of the ML algorithm.
+    algorithm_name: str
+    #: The (hyperparameter-tuned) model instance the session trains.
+    model: BaseEstimator
+    #: Error types under consideration.
+    errors: list[ErrorType]
+    #: The working dataset: current dirty state, ground truth, dirt ledger.
+    dataset: PollutedDataset
+    #: Cleaning budget ledger.
+    budget: Budget
+    #: Per-(feature, error) cost functions with step history.
+    cost_model: CostModel
+    #: The Cleaner, including its RNG (stateful for the simulated cleaner).
+    cleaner: Any
+    #: Reverted cleaning steps kept for free replay (§3.3 step D).
+    buffer: CleaningBuffer
+    #: Session-level generator (seeds components at creation time).
+    rng: np.random.Generator
+    #: The Estimator's generator — the E1 sweep's only randomness source.
+    estimator_rng: np.random.Generator
+    #: (feature, error) pairs not yet marked clean.
+    active: list[tuple[str, str]]
+    #: Estimator history: (feature, error) → observed (actual − predicted).
+    estimator_history: dict = field(default_factory=dict)
+    #: Recommender history: (feature, error) → best realized post-clean F1.
+    recommender_history: dict = field(default_factory=dict)
+    #: Memoized F1 of the current data state (``None`` = not yet measured).
+    current_f1: float | None = None
+    #: Estimation sweeps performed so far.
+    iteration: int = 0
+    #: Records of the run so far (``None`` until the first sweep).
+    trace: CleaningTrace | None = None
+    #: The most recent cleaning action (revert target).
+    last_action: CleaningAction | None = None
+
+    # ------------------------------------------------------------------ #
+    # observability
+    # ------------------------------------------------------------------ #
+    @property
+    def rng_state(self) -> dict:
+        """The session RNG's bit-generator state (inspectable, plain dict)."""
+        return self.rng.bit_generator.state
+
+    @property
+    def is_finished(self) -> bool:
+        """True once the budget is spent or nothing is left to clean."""
+        return not self.active or self.budget.exhausted()
+
+    def open_candidates(self) -> list[tuple[str, str]]:
+        """(feature, error) pairs the Cleaner has not yet marked clean."""
+        return list(self.active)
+
+    def status(self) -> dict:
+        """JSON-friendly progress snapshot (the ``status`` service verb)."""
+        return {
+            "iteration": self.iteration,
+            "budget_total": self.budget.total,
+            "budget_spent": self.budget.spent,
+            "budget_remaining": self.budget.remaining,
+            "open_candidates": len(self.active),
+            "buffered_actions": len(self.buffer),
+            "current_f1": self.current_f1,
+            "records": len(self.trace.records) if self.trace else 0,
+            "finished": self.is_finished,
+        }
+
+    # ------------------------------------------------------------------ #
+    # versioned checkpoints
+    # ------------------------------------------------------------------ #
+    def save(self, path: str | Path) -> None:
+        """Write a versioned checkpoint; ``load`` resumes bit-identically.
+
+        Checkpoints are pickles: like any pickle, they can execute code
+        on load, so :meth:`load` must only be pointed at files from a
+        trusted source (your own ``save`` output). The envelope check
+        catches mistakes, not malice.
+        """
+        envelope = {
+            "format": CHECKPOINT_FORMAT,
+            "version": CHECKPOINT_VERSION,
+            "state": self,
+        }
+        with open(path, "wb") as fh:
+            pickle.dump(envelope, fh)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SessionState":
+        """Read a checkpoint written by :meth:`save`.
+
+        Raises ``ValueError`` for files that are not session checkpoints
+        or were written by a newer, unknown format version. **Trusted
+        input only**: this unpickles the file, so the path must come from
+        the operator, never from an untrusted request.
+        """
+        with open(path, "rb") as fh:
+            envelope = pickle.load(fh)
+        if (
+            not isinstance(envelope, dict)
+            or envelope.get("format") != CHECKPOINT_FORMAT
+        ):
+            raise ValueError(f"{path}: not a repro session checkpoint")
+        version = envelope.get("version")
+        if version != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"{path}: checkpoint version {version!r} is not supported "
+                f"(this build reads version {CHECKPOINT_VERSION})"
+            )
+        state = envelope["state"]
+        if not isinstance(state, cls):
+            raise ValueError(f"{path}: checkpoint does not contain a SessionState")
+        return state

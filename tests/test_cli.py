@@ -64,11 +64,84 @@ class TestCommands:
         assert "current F1" in out or "no candidate" in out
 
 
+class TestSessionCommands:
+    def test_serve_parses_backend_flags(self):
+        args = build_parser().parse_args(["serve", "--backend", "thread", "--jobs", "3"])
+        assert args.command == "serve"
+        assert args.backend == "thread" and args.jobs == 3
+
+    def test_resume_requires_checkpoint(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["resume"])
+
+    def test_resume_parses(self):
+        args = build_parser().parse_args(
+            ["resume", "--checkpoint", "x.ckpt", "--backend", "process", "--jobs", "2"]
+        )
+        assert args.checkpoint == "x.ckpt"
+        assert args.backend == "process" and args.jobs == 2
+
+    def test_serve_stream_roundtrip(self, capsys):
+        import io
+        import json
+
+        from repro.cli import _cmd_serve
+
+        args = build_parser().parse_args(["serve"])
+        ins = io.StringIO(json.dumps({"action": "status"}) + "\n")
+        outs = io.StringIO()
+        assert _cmd_serve(args, ins, outs) == 0
+        response = json.loads(outs.getvalue().splitlines()[0])
+        assert response["ok"] and response["result"]["sessions"] == []
+
+    def test_resume_runs_checkpoint(self, tmp_path, capsys):
+        from repro.core import CometConfig
+        from repro.datasets import load_dataset, pollute
+        from repro.session import CleaningSession
+
+        polluted = pollute(
+            load_dataset("cmc", n_rows=130), error_types=["missing"], rng=7
+        )
+        session = CleaningSession.create(
+            polluted, algorithm="lor", error_types=["missing"], budget=2.0,
+            config=CometConfig(step=0.05), rng=0,
+        )
+        session.step()
+        path = tmp_path / "cli.ckpt"
+        session.save(path)
+        trace_path = tmp_path / "trace.json"
+        code = main(
+            ["resume", "--checkpoint", str(path), "--trace", str(trace_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "resumed" in out
+        assert trace_path.exists()
+
+
 class TestBackendFlags:
     def test_backend_defaults_to_serial(self):
         args = build_parser().parse_args(["run", "--dataset", "cmc"])
         assert args.backend == "serial"
         assert args.jobs == 1
+
+    def test_recommend_accepts_backend_flags(self):
+        # Pure-recommendation sweeps parallelize with the same knobs as run.
+        args = build_parser().parse_args(
+            ["recommend", "--dataset", "cmc", "--backend", "process", "--jobs", "3"]
+        )
+        assert args.backend == "process"
+        assert args.jobs == 3
+
+    def test_recommend_with_thread_backend(self, capsys):
+        code = main([
+            "recommend", "--dataset", "cmc", "--algorithm", "lor",
+            "--budget", "2", "--rows", "150", "--step", "0.05", "-k", "2",
+            "--backend", "thread", "--jobs", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "current F1" in out or "no candidate" in out
 
     def test_backend_and_jobs_parse(self):
         args = build_parser().parse_args(

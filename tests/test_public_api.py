@@ -21,6 +21,9 @@ PACKAGES = [
     "repro.baselines",
     "repro.datasets",
     "repro.experiments",
+    "repro.runtime",
+    "repro.session",
+    "repro.service",
 ]
 
 

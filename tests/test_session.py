@@ -1,0 +1,237 @@
+"""Tests for the session protocol (``repro.session``).
+
+The headline contract: a session checkpointed mid-run and resumed from
+disk produces a trace *bit-identical* to an uninterrupted run — across
+serial and pooled backends (extending the ``repro.runtime`` determinism
+contract across restarts). Plus: versioned checkpoint envelopes, observer
+hooks, state snapshots, and the ``Comet`` façade staying in sync with
+the session underneath.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import Comet, CometConfig
+from repro.datasets import load_dataset, pollute
+from repro.session import (
+    CHECKPOINT_FORMAT,
+    CHECKPOINT_VERSION,
+    CleaningSession,
+    SessionObserver,
+    SessionState,
+)
+
+
+def _polluted(rows=130, seed=7):
+    dataset = load_dataset("cmc", n_rows=rows)
+    return pollute(dataset, error_types=["missing"], rng=seed)
+
+
+def _session(polluted, budget=4.0, rng=0, **kwargs):
+    return CleaningSession.create(
+        polluted,
+        algorithm="lor",
+        error_types=["missing"],
+        budget=budget,
+        config=CometConfig(step=0.05),
+        rng=rng,
+        **kwargs,
+    )
+
+
+@pytest.fixture(scope="module")
+def polluted():
+    return _polluted()
+
+
+class TestSessionBasics:
+    def test_run_returns_trace_and_finishes(self, polluted):
+        session = _session(polluted)
+        trace = session.run()
+        assert session.is_finished
+        assert trace is session.trace
+        assert 0.0 <= trace.initial_f1 <= 1.0
+        assert trace.records
+
+    def test_step_appends_to_trace(self, polluted):
+        session = _session(polluted)
+        record = session.step()
+        assert record is not None
+        assert session.trace.records == [record]
+
+    def test_create_matches_comet_facade(self, polluted):
+        # The façade and the session protocol must consume RNG identically.
+        direct = _session(polluted).run()
+        via_comet = Comet(
+            polluted,
+            algorithm="lor",
+            error_types=["missing"],
+            budget=4.0,
+            config=CometConfig(step=0.05),
+            rng=0,
+        ).run()
+        assert direct == via_comet
+
+    def test_state_snapshot(self, polluted):
+        session = _session(polluted)
+        status = session.status()
+        assert status["iteration"] == 0
+        assert status["budget_spent"] == 0.0
+        assert not status["finished"]
+        session.step()
+        status = session.status()
+        assert status["iteration"] == 1
+        assert status["records"] == 1
+        assert isinstance(session.state.rng_state, dict)
+
+    def test_comet_attributes_stay_assignable(self, polluted):
+        # The façade keeps the monolithic class's plain-attribute
+        # semantics: assignment writes through to the session state.
+        from repro.cleaning import Budget, CleaningBuffer, paper_cost_model
+        from repro.errors import MissingValues
+
+        comet = Comet(polluted, algorithm="lor", budget=2.0,
+                      config=CometConfig(step=0.05), rng=0)
+        comet.budget = Budget(20.0)
+        assert comet.session.state.budget.total == 20.0
+        comet.cost_model = paper_cost_model()
+        assert comet.session.state.cost_model.next_cost("f", "missing") == 2.0
+        comet.buffer = CleaningBuffer()
+        assert len(comet.buffer) == 0
+        comet.errors = [MissingValues()]
+        assert comet.session._error_by_name.keys() == {"missing"}
+
+    def test_comet_exposes_session(self, polluted):
+        comet = Comet(polluted, algorithm="lor", budget=2.0,
+                      config=CometConfig(step=0.05), rng=0)
+        assert isinstance(comet.session, CleaningSession)
+        assert comet.session.state.dataset is comet.dataset
+
+
+class TestCheckpointResume:
+    """Save mid-run, load, finish → bit-identical to an uninterrupted run."""
+
+    @pytest.mark.parametrize("backend,jobs", [("serial", 1), ("process", 2)])
+    def test_roundtrip_bit_identical(self, polluted, tmp_path, backend, jobs):
+        uninterrupted = _session(polluted, backend=backend, jobs=jobs)
+        full = uninterrupted.run()
+        uninterrupted.close()
+
+        interrupted = _session(polluted, backend=backend, jobs=jobs)
+        interrupted.step()
+        interrupted.step()
+        path = tmp_path / "session.ckpt"
+        interrupted.save(path)
+        interrupted.close()
+        del interrupted
+
+        resumed = CleaningSession.load(path, backend=backend, jobs=jobs)
+        combined = resumed.run()
+        resumed.close()
+        assert combined == full
+
+    def test_resume_across_backends(self, polluted, tmp_path):
+        # A checkpoint written under one backend resumes identically under
+        # another: the backend is engine-side, never part of the state.
+        full = _session(polluted).run()
+        interrupted = _session(polluted, backend="thread", jobs=2)
+        interrupted.step()
+        path = tmp_path / "session.ckpt"
+        interrupted.save(path)
+        interrupted.close()
+        resumed = CleaningSession.load(path, backend="serial")
+        assert resumed.run() == full
+
+    def test_comet_save_load(self, polluted, tmp_path):
+        full = Comet(polluted, algorithm="lor", error_types=["missing"],
+                     budget=4.0, config=CometConfig(step=0.05), rng=0).run()
+        comet = Comet(polluted, algorithm="lor", error_types=["missing"],
+                      budget=4.0, config=CometConfig(step=0.05), rng=0)
+        comet.step()
+        path = tmp_path / "comet.ckpt"
+        comet.save(path)
+        resumed = Comet.load(path)
+        assert resumed.run() == full
+
+    def test_checkpoint_preserves_progress(self, polluted, tmp_path):
+        session = _session(polluted)
+        session.step()
+        path = tmp_path / "session.ckpt"
+        session.save(path)
+        resumed = CleaningSession.load(path)
+        assert resumed.state.iteration == session.state.iteration
+        assert resumed.state.budget.spent == session.state.budget.spent
+        assert resumed.open_candidates() == session.open_candidates()
+        assert resumed.trace == session.trace
+
+
+class TestCheckpointEnvelope:
+    def test_not_a_checkpoint_rejected(self, tmp_path):
+        path = tmp_path / "junk.ckpt"
+        with open(path, "wb") as fh:
+            pickle.dump({"something": "else"}, fh)
+        with pytest.raises(ValueError, match="not a repro session checkpoint"):
+            SessionState.load(path)
+
+    def test_future_version_rejected(self, polluted, tmp_path):
+        session = _session(polluted)
+        path = tmp_path / "session.ckpt"
+        with open(path, "wb") as fh:
+            pickle.dump(
+                {
+                    "format": CHECKPOINT_FORMAT,
+                    "version": CHECKPOINT_VERSION + 1,
+                    "state": session.state,
+                },
+                fh,
+            )
+        with pytest.raises(ValueError, match="version"):
+            SessionState.load(path)
+
+
+class _Recorder(SessionObserver):
+    def __init__(self):
+        self.iterations = []
+        self.accepts = []
+        self.reverts = []
+
+    def on_iteration(self, session, records):
+        self.iterations.append(list(records))
+
+    def on_accept(self, session, record):
+        self.accepts.append(record)
+
+    def on_revert(self, session, feature, error):
+        self.reverts.append((feature, error))
+
+
+class TestObservers:
+    def test_hooks_stream_progress(self, polluted):
+        recorder = _Recorder()
+        session = _session(polluted, observers=(recorder,))
+        trace = session.run()
+        # Every kept record was announced, in order, and each sweep fired
+        # exactly one on_iteration call.
+        assert recorder.accepts == trace.records
+        assert sum(len(r) for r in recorder.iterations) == len(trace.records)
+        # Reverted candidates show up in the records' rejected lists.
+        rejected = [pair for r in trace.records for pair in r.rejected]
+        assert recorder.reverts == rejected
+
+    def test_add_remove_observer(self, polluted):
+        recorder = _Recorder()
+        session = _session(polluted)
+        session.add_observer(recorder)
+        session.step()
+        seen = len(recorder.iterations)
+        assert seen == 1
+        session.remove_observer(recorder)
+        session.step()
+        assert len(recorder.iterations) == seen
+
+    def test_observers_do_not_affect_trace(self, polluted):
+        plain = _session(polluted).run()
+        observed = _session(polluted, observers=(_Recorder(),)).run()
+        assert plain == observed
