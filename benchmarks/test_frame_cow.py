@@ -1,0 +1,137 @@
+"""Micro-benchmark: the COW frame layer's O(1) signatures and cache wins.
+
+Three measurements, written to ``benchmarks/results/BENCH_frame_cow.json``:
+
+1. *Signature cost vs column length* — a token signature must cost the
+   same at 2k and 200k rows (it is an identity read), while the digest
+   baseline re-hashes the column bytes and scales linearly.
+2. *E1 sweep hit rate on CleanML* — one cold ``estimate_many`` sweep over
+   the polluted Titanic frame, token signatures vs the digest baseline.
+   Tokens must win measurably: the sweep's states share every untouched
+   column, and only tokens let categorical columns participate.
+3. *Repeated fit over an unchanged frame* — the transformed-matrix memo
+   must make repeat featurization disappear (the repeated-retraining
+   access pattern of concurrent sessions).
+"""
+
+import json
+import timeit
+
+import numpy as np
+from _helpers import RESULTS_DIR
+
+from repro.core import CometConfig, CometEstimator
+from repro.datasets import load_cleanml
+from repro.errors import MissingValues
+from repro.frame import Column
+from repro.ml import TabularModel, clear_fit_cache, fit_cache_stats, make_classifier
+from repro.ml.preprocessing import _column_signature, signature_mode
+
+SMALL_ROWS, LARGE_ROWS = 2_000, 200_000
+
+
+def _best_call_s(fn, number=200, repeat=5):
+    """Per-call seconds, best of ``repeat`` timed loops (noise floor)."""
+    return min(timeit.repeat(fn, number=number, repeat=repeat)) / number
+
+
+def _signature_costs():
+    rng = np.random.default_rng(0)
+    small = Column("x", rng.normal(size=SMALL_ROWS))
+    large = Column("x", rng.normal(size=LARGE_ROWS))
+    out = {}
+    for mode in ("token", "digest"):
+        with signature_mode(mode):
+            small_s = _best_call_s(lambda: _column_signature(small))
+            large_s = _best_call_s(lambda: _column_signature(large))
+        out[mode] = {
+            "small_s": small_s,
+            "large_s": large_s,
+            "large_over_small": large_s / small_s,
+        }
+    return out
+
+
+def _e1_sweep_rates():
+    polluted = load_cleanml("titanic", n_rows=160, rng=0)
+    candidates = [(f, MissingValues()) for f in polluted.feature_names]
+    out = {}
+    for mode in ("token", "digest"):
+        with signature_mode(mode):  # clears caches on entry and exit
+            estimator = CometEstimator(
+                make_classifier("lor"),
+                label=polluted.label,
+                config=CometConfig(step=0.04, n_pollution_steps=2, n_combinations=1),
+                rng=5,
+            )
+            predictions = estimator.estimate_many(
+                polluted.train, polluted.test, candidates, 0.8
+            )
+            stats = fit_cache_stats()
+        lookups = stats["hits"] + stats["misses"]
+        out[mode] = {
+            **stats,
+            "fit_hit_rate": stats["hits"] / lookups if lookups else 0.0,
+            "final_predictions": [p.predicted_f1 for p in predictions],
+        }
+    return out
+
+
+def _repeated_fit(repeats=5):
+    polluted = load_cleanml("titanic", n_rows=160, rng=0)
+    out = {}
+    for mode in ("token", "digest"):
+        with signature_mode(mode):
+            model = TabularModel(make_classifier("lor"), label=polluted.label)
+            start = timeit.default_timer()
+            scores = [
+                model.fit_score(polluted.train, polluted.test) for __ in range(repeats)
+            ]
+            elapsed = timeit.default_timer() - start
+            stats = fit_cache_stats()
+        out[mode] = {
+            "repeats": repeats,
+            "total_s": elapsed,
+            "transform_hits": stats["transform_hits"],
+            "transform_misses": stats["transform_misses"],
+            "scores_identical": len(set(scores)) == 1,
+        }
+    return out
+
+
+def test_frame_cow(benchmark):
+    def run():
+        clear_fit_cache()
+        return {
+            "signature_cost": _signature_costs(),
+            "e1_sweep_cleanml_titanic": _e1_sweep_rates(),
+            "repeated_fit_score": _repeated_fit(),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_frame_cow.json").write_text(
+        json.dumps(results, indent=2) + "\n"
+    )
+    print(f"\n{json.dumps(results, indent=2)}")
+
+    signature = results["signature_cost"]
+    # Token signatures are O(1): 100x more rows must not change the cost
+    # class (loose factor for timer noise on shared runners), and at
+    # large n they must beat the digest by a wide margin.
+    assert signature["token"]["large_over_small"] < 10.0
+    assert signature["digest"]["large_s"] > signature["token"]["large_s"] * 5.0
+
+    sweep = results["e1_sweep_cleanml_titanic"]
+    # Caching must never change results...
+    assert sweep["token"]["final_predictions"] == sweep["digest"]["final_predictions"]
+    # ...and the token layer must win the hit-rate comparison outright
+    # (categorical columns join the cache; nothing gets worse).
+    assert sweep["token"]["fit_hit_rate"] > sweep["digest"]["fit_hit_rate"] + 0.05
+
+    repeated = results["repeated_fit_score"]
+    assert repeated["token"]["scores_identical"]
+    # Four of five repeats skip featurization entirely under tokens; the
+    # digest baseline has no transformed-matrix memo at all.
+    assert repeated["token"]["transform_hits"] >= 8  # train+test, 4 repeats
+    assert repeated["digest"]["transform_hits"] == 0

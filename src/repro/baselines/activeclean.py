@@ -175,7 +175,12 @@ class ActiveClean(BaseCleaningStrategy):
         return touched
 
     def _clean_records(self, batch: np.ndarray) -> None:
-        """Restore ground truth for every dirty cell of the batch records."""
+        """Restore ground truth for every dirty cell of the batch records.
+
+        The in-place ``set_values`` below are copy-on-write: the working
+        frames came from ``dataset.copy()``, so the caller's dataset (and
+        the clean ground truth) never see these mutations.
+        """
         batch_set = set(batch.tolist())
         for feature, error in self.dataset.dirty_train.pairs():
             rows = self.dataset.dirty_train.rows(feature, error)

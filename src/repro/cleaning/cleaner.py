@@ -77,6 +77,9 @@ class GroundTruthCleaner:
             self.cells_per_step(dataset.test.n_rows),
             None,
         )
+        # O(1) COW snapshots: the in-place restore below materializes
+        # private arrays before writing, so the before/after images (and
+        # any E1 task frames still sharing this column) stay intact.
         train_before = dataset.train[feature].copy()
         test_before = dataset.test[feature].copy()
         self._restore(dataset.train[feature], dataset.clean_train[feature], train_rows)
@@ -144,6 +147,7 @@ class GroundTruthCleaner:
 
     @staticmethod
     def _restore(column: Column, clean_column: Column, rows: np.ndarray) -> None:
+        """Copy ground-truth cells into ``column`` (in place, via COW)."""
         if rows.size:
             column.set_values(rows, clean_column.values[rows])
             # Ground truth may itself contain genuine missing cells (CleanML

@@ -80,6 +80,8 @@ class AlgorithmicCleaner:
             dataset, "train", feature, error, priority_train_rows
         )
         test_rows = self._select_rows(dataset, "test", feature, error, None)
+        # O(1) COW snapshots — the repairs below copy-on-write before
+        # mutating, leaving the before/after images untouched.
         train_before = dataset.train[feature].copy()
         test_before = dataset.test[feature].copy()
         self._repair_split(dataset.train, feature, error, train_rows)

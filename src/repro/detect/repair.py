@@ -32,11 +32,13 @@ class Repairer(abc.ABC):
         """Replacement values for ``feature`` at ``rows``."""
 
     def apply(self, frame: DataFrame, feature: str, rows: np.ndarray) -> DataFrame:
-        """Return a copy of ``frame`` with the cells repaired."""
+        """Return a copy of ``frame`` with the cells repaired.
+
+        The untouched columns are copy-on-write shares of ``frame``'s.
+        """
         if rows.size == 0:
             return frame.copy()
-        column = frame[feature].copy()
-        column.set_values(rows, self.repair(frame, feature, rows))
+        column = frame[feature].with_values(rows, self.repair(frame, feature, rows))
         return frame.with_column(column)
 
 

@@ -79,8 +79,10 @@ class Polluter:
             )
         n_cells = self.cells_per_step(frame)
         rows = rng.choice(frame.n_rows, size=min(n_cells, frame.n_rows), replace=False)
-        new_column = column.copy()
-        new_column.set_values(rows, self.error.corrupt(column, rows, rng))
+        # Functional update: the returned state shares every untouched
+        # column with ``frame`` (copy-on-write), so an incremental E1
+        # trajectory costs one column per step, not one frame.
+        new_column = column.with_values(rows, self.error.corrupt(column, rows, rng))
         return frame.with_column(new_column), rows
 
     def incremental_states(

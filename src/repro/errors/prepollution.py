@@ -100,7 +100,11 @@ class PollutedDataset:
         return [n for n in self.train.column_names if n != self.label]
 
     def copy(self) -> "PollutedDataset":
-        """Deep copy (independent of the original)."""
+        """An independent dataset (frames are copy-on-write shares).
+
+        Cheap enough to take per session: cleaning one feature later
+        materializes only that feature's column.
+        """
         return PollutedDataset(
             name=self.name,
             label=self.label,
@@ -212,6 +216,8 @@ class PrePollution:
             # Pre-pollution controls its own rows: draw without replacement
             # so the realized dirty fraction equals the sampled level.
             rows = self._rng.permutation(frame.n_rows)[:target]
+            # One COW share per polluted feature: the first set_values
+            # materializes private arrays, later steps mutate in place.
             column = frame[feature].copy()
             for k in range(n_steps):
                 chunk = rows[k * cells_per_step : (k + 1) * cells_per_step]

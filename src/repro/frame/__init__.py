@@ -1,9 +1,15 @@
-"""A minimal typed column-store dataframe.
+"""A minimal typed column-store dataframe with copy-on-write sharing.
 
 The environment that hosts this reproduction does not ship pandas, so this
 subpackage provides the small slice of dataframe functionality that COMET
 needs: typed columns (numeric and categorical) with missing-value masks,
 row/column selection, copying, and CSV round-tripping.
+
+Frame copies are copy-on-write: polluted/cleaned states share untouched
+column storage with their parents, and each column content state carries a
+process-unique ``(token, version)`` identity that changes only on mutation.
+``repro.ml.preprocessing`` keys its featurization caches on those tokens,
+which is what makes repeated fits over mostly-shared data states cheap.
 """
 
 from repro.frame.column import Column, ColumnKind

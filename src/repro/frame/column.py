@@ -1,13 +1,59 @@
-"""Typed columns with explicit missing-value masks."""
+"""Typed columns with explicit missing-value masks and version tokens.
+
+Columns are *structurally shared* across frames: :meth:`Column.copy` (and
+every frame-level copy built on it) returns a new ``Column`` object that
+shares the underlying value/mask arrays with the original, and the
+in-place mutators materialize private arrays on first write — classic
+copy-on-write. Each content state carries a process-unique identity
+``(token, version)`` that changes *only* on mutation, so downstream code
+(the featurization cache in :mod:`repro.ml.preprocessing`) can decide
+"same content as last time?" in O(1) instead of re-digesting the bytes.
+
+Token safety rules, which together make ``token == token`` imply
+"identical content" everywhere a token can travel:
+
+* tokens are minted from a per-process random salt plus a monotonic
+  counter, so two processes (or a parent and its forked worker — the
+  salt is re-drawn ``after_in_child``) can never mint the same token;
+* every mutation mints a fresh token, so a token never survives a
+  content change;
+* pickling preserves tokens, which is safe *because* of the two rules
+  above — a frame shipped to a process-pool worker keeps its identity,
+  and worker-side caches hit across tasks that share columns.
+"""
 
 from __future__ import annotations
 
 import enum
+import itertools
+import os
 from typing import Iterable, Sequence
 
 import numpy as np
 
 __all__ = ["ColumnKind", "Column"]
+
+
+# ---------------------------------------------------------------------- #
+# identity tokens
+# ---------------------------------------------------------------------- #
+_TOKEN_SALT = os.urandom(16)
+#: ``count().__next__`` is atomic under the GIL, so minting is thread-safe.
+_TOKEN_COUNTER = itertools.count()
+
+
+def _mint_token() -> bytes:
+    """A process-unique 24-byte identity for one column content state."""
+    return _TOKEN_SALT + next(_TOKEN_COUNTER).to_bytes(8, "little")
+
+
+def _reseed_token_salt() -> None:
+    global _TOKEN_SALT
+    _TOKEN_SALT = os.urandom(16)
+
+
+if hasattr(os, "register_at_fork"):  # forked workers must not reuse our salt
+    os.register_at_fork(after_in_child=_reseed_token_salt)
 
 
 class ColumnKind(enum.Enum):
@@ -58,6 +104,9 @@ class Column:
             self._values = raw.astype(object)
             self._missing = np.array([_is_missing_value(v) for v in self._values], dtype=bool)
             self._values[self._missing] = None
+        self._token = _mint_token()
+        self._version = 0
+        self._shared = False
 
     # ------------------------------------------------------------------ #
     # basic protocol
@@ -80,17 +129,33 @@ class Column:
             return bool(np.allclose(self._values[present], other._values[present]))
         return bool(np.array_equal(self._values[present], other._values[present]))
 
+    def __setstate__(self, state: dict) -> None:
+        # Pickles carry tokens (safe: salted minting makes them unique
+        # across processes, and pickle's memo rebuilds array sharing).
+        # Legacy pickles from before column versioning lack an identity —
+        # mint one so every live Column has O(1) signatures.
+        self.__dict__.update(state)
+        if "_token" not in state:
+            self._token = _mint_token()
+            self._version = 0
+            self._shared = False
+
     # ------------------------------------------------------------------ #
     # accessors
     # ------------------------------------------------------------------ #
     @property
     def values(self) -> np.ndarray:
-        """The raw value array (read it, do not mutate it in place)."""
+        """The raw value array (read it, do not mutate it in place).
+
+        Under copy-on-write the array may be shared with other columns;
+        writing through this view would corrupt them *and* stale the
+        version token. Use :meth:`set_values` / :meth:`with_values`.
+        """
         return self._values
 
     @property
     def missing_mask(self) -> np.ndarray:
-        """Boolean mask of missing cells."""
+        """Boolean mask of missing cells (shared; do not mutate)."""
         return self._missing
 
     @property
@@ -108,6 +173,29 @@ class Column:
         """True for categorical columns."""
         return self.kind is ColumnKind.CATEGORICAL
 
+    # ------------------------------------------------------------------ #
+    # identity
+    # ------------------------------------------------------------------ #
+    @property
+    def token(self) -> bytes:
+        """Process-unique content identity; equal tokens ⇒ equal content."""
+        return self._token
+
+    @property
+    def version(self) -> int:
+        """How many times this column object has been mutated in place."""
+        return self._version
+
+    @property
+    def signature(self) -> bytes:
+        """O(1) cache key for this content state (the identity token)."""
+        return self._token
+
+    @property
+    def shares_storage(self) -> bool:
+        """True while the value arrays may be shared with another column."""
+        return self._shared
+
     def categories(self) -> list:
         """Sorted distinct non-missing values (categorical convenience)."""
         present = self._values[~self._missing]
@@ -116,25 +204,69 @@ class Column:
     def take(self, indices: Sequence[int] | np.ndarray) -> "Column":
         """Return a new column containing the given rows, in order."""
         idx = np.asarray(indices)
+        # Fancy indexing already allocates fresh arrays — no copy needed.
+        return self._rebuild(self._values[idx], self._missing[idx])
+
+    def copy(self) -> "Column":
+        """An independent column (copy-on-write share, O(1)).
+
+        Mutating the copy never affects the original and vice versa; the
+        backing arrays are shared until either side first mutates.
+        """
+        return self.share()
+
+    def share(self, name: str | None = None) -> "Column":
+        """Structurally share this column under ``name`` (default: same).
+
+        Both columns keep the same ``(token, version)`` identity — they
+        are the same content — and both are flagged as shared so the
+        first in-place mutation on either side materializes private
+        arrays first.
+        """
+        out = Column.__new__(Column)
+        out.name = self.name if name is None else name
+        out.kind = self.kind
+        out._values = self._values
+        out._missing = self._missing
+        out._token = self._token
+        out._version = self._version
+        out._shared = True
+        self._shared = True
+        return out
+
+    def _rebuild(self, values: np.ndarray, missing: np.ndarray) -> "Column":
+        """A fresh column (new identity) around already-owned arrays."""
         out = Column.__new__(Column)
         out.name = self.name
         out.kind = self.kind
-        out._values = self._values[idx].copy()
-        out._missing = self._missing[idx].copy()
+        out._values = values
+        out._missing = missing
+        out._token = _mint_token()
+        out._version = 0
+        out._shared = False
         return out
-
-    def copy(self) -> "Column":
-        """Deep copy (independent of the original)."""
-        return self.take(np.arange(len(self)))
 
     # ------------------------------------------------------------------ #
     # mutation (used by the Polluter and the Cleaner)
     # ------------------------------------------------------------------ #
+    def _materialize(self) -> None:
+        """Copy-on-write barrier: own the arrays before the first write."""
+        if self._shared:
+            self._values = self._values.copy()
+            self._missing = self._missing.copy()
+            self._shared = False
+
+    def _bump(self) -> None:
+        """Mutation happened: mint a fresh token, advance the version."""
+        self._token = _mint_token()
+        self._version += 1
+
     def set_values(self, indices: Sequence[int] | np.ndarray, values: Iterable) -> None:
         """Overwrite cells at ``indices`` with ``values``.
 
         ``nan``/``None`` values mark the cells as missing; any other value
-        clears the missing flag.
+        clears the missing flag. Copy-on-write: columns sharing storage
+        with this one are unaffected.
         """
         idx = np.asarray(indices)
         vals = list(values) if not isinstance(values, np.ndarray) else values
@@ -142,27 +274,54 @@ class Column:
             raise ValueError(
                 f"got {len(idx)} indices but {len(vals)} values for column {self.name!r}"
             )
-        if self.kind is ColumnKind.NUMERIC:
-            arr = np.asarray(vals, dtype=float)
-            self._values[idx] = arr
-            self._missing[idx] = np.isnan(arr)
-        else:
-            for i, v in zip(idx, vals):
-                if _is_missing_value(v):
-                    self._values[i] = None
-                    self._missing[i] = True
-                else:
-                    self._values[i] = v
-                    self._missing[i] = False
+        self._materialize()
+        # Bump even when a write fails partway (e.g. an out-of-bounds
+        # index): content may already have changed, and a token must
+        # never survive a content change — a spurious new token only
+        # costs a cache miss, a stale one serves wrong statistics.
+        try:
+            if self.kind is ColumnKind.NUMERIC:
+                arr = np.asarray(vals, dtype=float)
+                self._values[idx] = arr
+                self._missing[idx] = np.isnan(arr)
+            else:
+                for i, v in zip(idx, vals):
+                    if _is_missing_value(v):
+                        self._values[i] = None
+                        self._missing[i] = True
+                    else:
+                        self._values[i] = v
+                        self._missing[i] = False
+        finally:
+            self._bump()
 
     def set_missing(self, indices: Sequence[int] | np.ndarray) -> None:
-        """Mark the cells at ``indices`` as missing."""
+        """Mark the cells at ``indices`` as missing (copy-on-write)."""
         idx = np.asarray(indices)
-        if self.kind is ColumnKind.NUMERIC:
-            self._values[idx] = np.nan
-        else:
-            self._values[idx] = None
-        self._missing[idx] = True
+        self._materialize()
+        try:
+            if self.kind is ColumnKind.NUMERIC:
+                self._values[idx] = np.nan
+            else:
+                self._values[idx] = None
+            self._missing[idx] = True
+        finally:
+            self._bump()
+
+    # ------------------------------------------------------------------ #
+    # functional variants (leave the receiver untouched)
+    # ------------------------------------------------------------------ #
+    def with_values(self, indices: Sequence[int] | np.ndarray, values: Iterable) -> "Column":
+        """A new column with the cells at ``indices`` overwritten."""
+        out = self.share()
+        out.set_values(indices, values)
+        return out
+
+    def with_missing(self, indices: Sequence[int] | np.ndarray) -> "Column":
+        """A new column with the cells at ``indices`` marked missing."""
+        out = self.share()
+        out.set_missing(indices)
+        return out
 
 
 def _infer_kind(values: np.ndarray) -> ColumnKind:

@@ -18,6 +18,14 @@ class DataFrame:
     access and replacement, row selection, copying, and conversion of the
     label column into a numpy array. Construction accepts either columns or
     a mapping of name → values.
+
+    Frames are copy-on-write: ``copy``/``select``/``drop``/``with_column``
+    share untouched column storage with the source frame instead of
+    deep-copying it, and the first in-place mutation of a shared column
+    materializes private arrays (see :class:`Column`). Mutation through
+    one frame is therefore never visible through another, while a
+    polluted or cleaned frame that differs from its parent in one column
+    costs one column — not one frame — of memory.
     """
 
     def __init__(self, columns: Iterable[Column] | Mapping[str, Iterable]) -> None:
@@ -25,9 +33,9 @@ class DataFrame:
             cols = []
             for name, values in columns.items():
                 if isinstance(values, Column):
-                    column = values.copy()
-                    column.name = name
-                    cols.append(column)
+                    # Share, never deep-copy: renaming happens on the
+                    # share, so the caller's column keeps its own name.
+                    cols.append(values.share(name=name))
                 else:
                     cols.append(Column(name, values))
         else:
@@ -103,14 +111,14 @@ class DataFrame:
     # selection and mutation
     # ------------------------------------------------------------------ #
     def select(self, names: Sequence[str]) -> "DataFrame":
-        """Return a dataframe with only the given columns (copied)."""
+        """Return a dataframe with only the given columns (COW shares)."""
         missing = [n for n in names if n not in self._columns]
         if missing:
             raise KeyError(f"unknown columns: {missing}")
-        return DataFrame([self._columns[n].copy() for n in names])
+        return DataFrame([self._columns[n].share() for n in names])
 
     def drop(self, names: Sequence[str] | str) -> "DataFrame":
-        """Return a dataframe without the given columns (copied)."""
+        """Return a dataframe without the given columns (COW shares)."""
         if isinstance(names, str):
             names = [names]
         keep = [n for n in self.column_names if n not in set(names)]
@@ -124,16 +132,25 @@ class DataFrame:
         return DataFrame([c.take(idx) for c in self])
 
     def copy(self) -> "DataFrame":
-        """Deep copy (independent of the original)."""
-        return DataFrame([c.copy() for c in self])
+        """An independent frame (copy-on-write shares, O(columns)).
+
+        Mutating either frame never affects the other; untouched columns
+        keep sharing storage (and identity tokens) until first write.
+        """
+        return DataFrame([c.share() for c in self])
 
     def with_column(self, column: Column) -> "DataFrame":
-        """Return a copy with ``column`` replacing or appending by name."""
+        """Return a copy with ``column`` replacing or appending by name.
+
+        The untouched sibling columns are shared, not copied — the new
+        frame costs one column. ``column`` itself is adopted by
+        reference; the caller hands over ownership.
+        """
         if len(column) != self._n_rows:
             raise ValueError(
                 f"column {column.name!r} has {len(column)} rows, frame has {self._n_rows}"
             )
-        cols = [column if c.name == column.name else c.copy() for c in self]
+        cols = [column if c.name == column.name else c.share() for c in self]
         if column.name not in self._columns:
             cols.append(column)
         return DataFrame(cols)

@@ -37,6 +37,7 @@ from repro.ml.preprocessing import (
     TabularPreprocessor,
     clear_fit_cache,
     fit_cache_stats,
+    signature_mode,
 )
 from repro.ml.registry import available_algorithms, make_classifier
 from repro.ml.svm import LinearSVC
@@ -66,6 +67,7 @@ __all__ = [
     "TabularModel",
     "clear_fit_cache",
     "fit_cache_stats",
+    "signature_mode",
     "available_algorithms",
     "make_classifier",
 ]

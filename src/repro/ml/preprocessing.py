@@ -6,19 +6,23 @@ inputs: numeric missing cells are mean-imputed (the train mean), while
 categorical missing cells become an explicit ``<missing>`` category —
 mirroring how placeholder values behave in the paper's pipeline.
 
-Fitting is per-column and memoized: the E1 sweep refits the preprocessor
-on data states that differ from the base frame in exactly one polluted
-column, so the fit statistics of every *other* numeric column are
-content-hashed and served from a bounded process-wide cache instead of
-being recomputed per pollution state (categorical category sets are
-cheaper to recompute than to digest robustly, so they skip the cache).
-Cache hits return the same values a recomputation would (the key is a
-digest of the column's bytes), so caching never changes results — see
-``repro.runtime`` for the determinism contract.
+Fitting and transforming are memoized on column *identity tokens* (see
+:mod:`repro.frame`): frames in the E1 sweep differ from the base frame in
+exactly one polluted column and share the rest, so a signature is an O(1)
+token comparison instead of an O(n) content digest. That makes the cache
+worthwhile for categorical columns too, and cheap enough to extend to
+whole transformed feature matrices, keyed by the tuple of column tokens —
+a repeated fit over an unchanged frame skips featurization entirely.
+A content digest remains as a fallback for externally constructed numeric
+arrays (and as the measurable pre-token baseline, via
+:func:`signature_mode`). Cache hits return the same values a
+recomputation would — tokens change on every mutation — so caching never
+changes results; see ``repro.runtime`` for the determinism contract.
 """
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import threading
 from collections import OrderedDict
@@ -33,6 +37,7 @@ __all__ = [
     "TabularPreprocessor",
     "clear_fit_cache",
     "fit_cache_stats",
+    "signature_mode",
 ]
 
 
@@ -100,37 +105,99 @@ class OneHotEncoder:
 _MISSING_CATEGORY = "<missing>"
 
 # ---------------------------------------------------------------------- #
-# fit-signature cache
+# fit-signature and transformed-matrix caches
 # ---------------------------------------------------------------------- #
-#: column-content digest → per-column fit statistics (immutable tuples).
+#: column signature → per-column fit statistics (immutable tuples).
 _FIT_CACHE: OrderedDict[bytes, tuple] = OrderedDict()
-_FIT_CACHE_MAX = 1024
-_FIT_CACHE_LOCK = threading.Lock()
-_FIT_CACHE_STATS = {"hits": 0, "misses": 0}
+_FIT_CACHE_MAX = 2048
+#: (fit signatures, input signatures) → read-only transformed matrix.
+_TRANSFORM_CACHE: OrderedDict[tuple, np.ndarray] = OrderedDict()
+_TRANSFORM_CACHE_MAX = 128
+#: Bounds so a service holding many sessions cannot hoard matrices.
+_TRANSFORM_CACHE_MAX_BYTES = 64 * 1024 * 1024
+_TRANSFORM_ENTRY_MAX_BYTES = 16 * 1024 * 1024
+_TRANSFORM_CACHE_BYTES = 0
+_CACHE_LOCK = threading.Lock()
+
+
+def _zero_stats() -> dict[str, int]:
+    return {"hits": 0, "misses": 0, "transform_hits": 0, "transform_misses": 0}
+
+
+_CACHE_STATS = _zero_stats()
+
+#: ``"token"`` (O(1) identity signatures) or ``"digest"`` (the pre-COW
+#: content-hash baseline: numeric columns only, no transform memo).
+_SIGNATURE_MODE = "token"
+
+
+@contextlib.contextmanager
+def signature_mode(mode: str):
+    """Temporarily select how column signatures are computed.
+
+    ``"token"`` is the production mode. ``"digest"`` reproduces the
+    digest-based baseline so benchmarks can measure what the token layer
+    buys; both caches are cleared on entry and exit so modes never mix.
+    """
+    global _SIGNATURE_MODE
+    if mode not in ("token", "digest"):
+        raise ValueError(f"unknown signature mode {mode!r}")
+    previous = _SIGNATURE_MODE
+    clear_fit_cache()
+    _SIGNATURE_MODE = mode
+    try:
+        yield
+    finally:
+        _SIGNATURE_MODE = previous
+        clear_fit_cache()
 
 
 def clear_fit_cache() -> None:
-    """Drop all memoized per-column fit statistics and reset counters."""
-    with _FIT_CACHE_LOCK:
+    """Drop all memoized featurization state and reset the counters."""
+    global _TRANSFORM_CACHE_BYTES
+    with _CACHE_LOCK:
         _FIT_CACHE.clear()
-        _FIT_CACHE_STATS["hits"] = 0
-        _FIT_CACHE_STATS["misses"] = 0
+        _TRANSFORM_CACHE.clear()
+        _TRANSFORM_CACHE_BYTES = 0
+        for key in _CACHE_STATS:
+            _CACHE_STATS[key] = 0
 
 
-def fit_cache_stats() -> dict[str, int]:
-    """Current hit/miss counters of the featurization cache."""
-    with _FIT_CACHE_LOCK:
-        return dict(_FIT_CACHE_STATS)
+def fit_cache_stats(reset: bool = False) -> dict[str, int]:
+    """Process-wide hit/miss counters of the featurization caches.
 
-
-def _column_signature(column: Column) -> bytes:
-    """Content digest of a numeric column: values, missing mask, length.
-
-    Only numeric columns are digested: their ``tobytes`` serialization is
-    vectorized and injective, so hashing costs one memory pass. A robust
-    digest of an object column would cost more than the category-set
-    computation it memoizes, so categorical fits skip the cache entirely.
+    ``hits``/``misses`` count per-column fit lookups (numeric and
+    categorical); ``transform_hits``/``transform_misses`` count whole
+    transformed-matrix lookups. ``reset=True`` zeroes the counters after
+    reading — benchmark figures use that to report per-phase hit rates
+    instead of process-lifetime aggregates (per-instance numbers live on
+    ``TabularPreprocessor.cache_stats_``).
     """
+    with _CACHE_LOCK:
+        out = dict(_CACHE_STATS)
+        if reset:
+            for key in _CACHE_STATS:
+                _CACHE_STATS[key] = 0
+        return out
+
+
+def _column_signature(column: Column) -> bytes | None:
+    """O(1) cache key for a column: its identity token.
+
+    Tokens change on every mutation and are process-unique (see
+    :mod:`repro.frame.column`), so equal signatures imply equal content.
+    In ``"digest"`` mode — and for objects without a token — numeric
+    columns fall back to a blake2b digest of their bytes (one memory
+    pass) and categorical columns return ``None`` (uncacheable): a robust
+    object-column digest costs more than the category set it would
+    memoize, which is exactly why the token layer exists.
+    """
+    if _SIGNATURE_MODE == "token":
+        token = getattr(column, "signature", None)
+        if token is not None:
+            return b"tok\x00" + token
+    if not column.is_numeric:
+        return None
     h = hashlib.blake2b(digest_size=16)
     h.update(b"num\x00")
     h.update(column.values.tobytes())
@@ -139,23 +206,57 @@ def _column_signature(column: Column) -> bytes:
     return h.digest()
 
 
-def _cached_column_fit(column: Column, compute) -> tuple:
-    """Serve ``compute(column)`` from the cache, keyed by content digest."""
+def _cached_column_fit(column: Column, compute, stats: dict) -> tuple:
+    """Serve ``compute(column)`` from the cache, keyed by signature."""
     key = _column_signature(column)
-    with _FIT_CACHE_LOCK:
+    if key is None:
+        stats["misses"] += 1
+        with _CACHE_LOCK:
+            _CACHE_STATS["misses"] += 1
+        return compute(column)
+    with _CACHE_LOCK:
         cached = _FIT_CACHE.get(key)
         if cached is not None:
             _FIT_CACHE.move_to_end(key)
-            _FIT_CACHE_STATS["hits"] += 1
+            _CACHE_STATS["hits"] += 1
+            stats["hits"] += 1
             return cached
-        _FIT_CACHE_STATS["misses"] += 1
-    stats = compute(column)
-    with _FIT_CACHE_LOCK:
-        _FIT_CACHE[key] = stats
+        _CACHE_STATS["misses"] += 1
+    stats["misses"] += 1
+    value = compute(column)
+    with _CACHE_LOCK:
+        _FIT_CACHE[key] = value
         _FIT_CACHE.move_to_end(key)
         while len(_FIT_CACHE) > _FIT_CACHE_MAX:
             _FIT_CACHE.popitem(last=False)
-    return stats
+    return value
+
+
+def _transform_cache_get(key: tuple) -> np.ndarray | None:
+    with _CACHE_LOCK:
+        cached = _TRANSFORM_CACHE.get(key)
+        if cached is not None:
+            _TRANSFORM_CACHE.move_to_end(key)
+        return cached
+
+
+def _transform_cache_put(key: tuple, matrix: np.ndarray) -> None:
+    global _TRANSFORM_CACHE_BYTES
+    if matrix.nbytes > _TRANSFORM_ENTRY_MAX_BYTES:
+        return
+    master = matrix.copy()
+    master.setflags(write=False)
+    with _CACHE_LOCK:
+        if key not in _TRANSFORM_CACHE:
+            _TRANSFORM_CACHE[key] = master
+            _TRANSFORM_CACHE_BYTES += master.nbytes
+        _TRANSFORM_CACHE.move_to_end(key)
+        while _TRANSFORM_CACHE and (
+            len(_TRANSFORM_CACHE) > _TRANSFORM_CACHE_MAX
+            or _TRANSFORM_CACHE_BYTES > _TRANSFORM_CACHE_MAX_BYTES
+        ):
+            __, evicted = _TRANSFORM_CACHE.popitem(last=False)
+            _TRANSFORM_CACHE_BYTES -= evicted.nbytes
 
 
 def _fit_numeric_column(column: Column) -> tuple[float, float, float]:
@@ -192,9 +293,18 @@ class TabularPreprocessor:
     feature_names:
         Columns to encode, in order. The label column must not be included.
     cache:
-        Serve numeric per-column fit statistics from the process-wide
-        fit-signature cache (default). Disable to force recomputation;
-        the fitted state is identical either way.
+        Serve per-column fit statistics — and, when every feature column
+        carries an identity signature, whole transformed matrices — from
+        the process-wide featurization cache (default). Disable to force
+        recomputation; fitted state and outputs are identical either way.
+
+    Attributes
+    ----------
+    cache_stats_:
+        Per-instance hit/miss counters (same keys as
+        :func:`fit_cache_stats`), accumulated over this object's
+        lifetime — unlike the process-global counters, they are not
+        polluted by other sessions or benchmark figures.
     """
 
     def __init__(self, feature_names: list[str], cache: bool = True) -> None:
@@ -202,10 +312,18 @@ class TabularPreprocessor:
             raise ValueError("need at least one feature column")
         self.feature_names = list(feature_names)
         self.cache = cache
+        self.cache_stats_ = _zero_stats()
+
+    def _stats(self) -> dict:
+        # Instances unpickled from pre-versioning checkpoints lack the
+        # counter dict; recreate it lazily.
+        if not hasattr(self, "cache_stats_"):
+            self.cache_stats_ = _zero_stats()
+        return self.cache_stats_
 
     def _column_fit(self, column: Column, compute) -> tuple:
         if self.cache:
-            return _cached_column_fit(column, compute)
+            return _cached_column_fit(column, compute, self._stats())
         return compute(column)
 
     def fit(self, frame: DataFrame) -> "TabularPreprocessor":
@@ -231,13 +349,58 @@ class TabularPreprocessor:
             self.scaler_ = None
         self.encoder_ = OneHotEncoder()
         self.encoder_.categories_ = [
-            list(_fit_categorical_column(frame[n]))
+            list(self._column_fit(frame[n], _fit_categorical_column))
             for n in self.categorical_names_
         ]
+        # The fitted state is a pure function of these signatures — they
+        # key the transformed-matrix memo. The memo needs O(1) keys to
+        # pay off, so the digest baseline runs without it; ``None`` (an
+        # unsignable column) disables it too.
+        self._fit_key = (
+            self._frame_key(frame) if _SIGNATURE_MODE == "token" else None
+        )
         return self
 
+    def _frame_key(self, frame: DataFrame) -> tuple | None:
+        signatures = []
+        for name in self.feature_names:
+            signature = _column_signature(frame[name])
+            if signature is None:
+                return None
+            signatures.append(signature)
+        return tuple(signatures)
+
     def transform(self, frame: DataFrame) -> np.ndarray:
-        """Transform the input using the fitted state."""
+        """Transform the input using the fitted state.
+
+        When caching is on and both the fit frame and ``frame`` carry
+        O(1) signatures, the whole output matrix is memoized: repeated
+        transforms of an unchanged frame (the dominant access pattern of
+        repeated E1 sweeps over mostly-shared data states) skip
+        featurization entirely. Returns a fresh writable array either
+        way.
+        """
+        key = None
+        if self.cache and getattr(self, "_fit_key", None) is not None:
+            input_key = self._frame_key(frame)
+            if input_key is not None:
+                key = (self._fit_key, input_key)
+                cached = _transform_cache_get(key)
+                stats = self._stats()
+                if cached is not None:
+                    stats["transform_hits"] += 1
+                    with _CACHE_LOCK:
+                        _CACHE_STATS["transform_hits"] += 1
+                    return cached.copy()
+                stats["transform_misses"] += 1
+                with _CACHE_LOCK:
+                    _CACHE_STATS["transform_misses"] += 1
+        out = self._transform_uncached(frame)
+        if key is not None:
+            _transform_cache_put(key, out)
+        return out
+
+    def _transform_uncached(self, frame: DataFrame) -> np.ndarray:
         parts = []
         if self.numeric_names_:
             parts.append(self.scaler_.transform(self._numeric_matrix(frame)))

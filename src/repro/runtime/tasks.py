@@ -7,6 +7,14 @@ payload.  That purity is what lets the backends run tasks in any order
 (or in other processes) while the session stays bit-identical to a
 serial run: every data state and every random draw happened *before* the
 task was built.
+
+Task frames are copy-on-write (:mod:`repro.frame`): states produced by
+one E1 sweep share their untouched columns, so pickling a batch of tasks
+serializes each shared column once (pickle's memo follows object
+identity) and the salted identity tokens survive the trip. Worker
+processes therefore see the *same* token on the same content across
+tasks and sweeps, and their featurization caches hit exactly like the
+parent's would — without shipping any cache state.
 """
 
 from __future__ import annotations

@@ -11,6 +11,16 @@ resumes the run *bit-identically* — numpy ``Generator`` pickles preserve
 both the stream position and the ``spawn`` counter, so a resumed session
 consumes exactly the random numbers an uninterrupted one would.
 
+The dataset's frames are copy-on-write (:mod:`repro.frame`): the dirty
+working frames share untouched column storage with the clean ground
+truth. Pickle's memo follows object identity, so a checkpoint serializes
+each shared array once and the loaded state *rebuilds the same sharing*
+— resuming neither duplicates memory nor couples frames that were
+independent. Column identity tokens ride along (they are process-unique
+by construction, so collisions cannot occur after load) and mutations on
+either side of the share still copy-on-write, which keeps resumed traces
+bit-identical.
+
 Checkpoints are a versioned envelope around the pickled state, so future
 format changes can be detected (and migrated) instead of failing
 obscurely.

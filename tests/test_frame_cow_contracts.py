@@ -1,0 +1,240 @@
+"""Copy-on-write frame layer: sharing, identity tokens, pickling, resume.
+
+The COW refactor has two standing contracts to uphold: mutation through
+one frame is never visible through another (structural sharing is an
+optimization, not a semantic), and pickling shared frames — checkpoints,
+process-backend tasks — rebuilds the sharing on the far side without
+correctness loss. These tests pin both, plus the identity-token rules
+the featurization cache relies on.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_cleanml, load_dataset, pollute
+from repro.errors import MissingValues
+from repro.errors.polluter import Polluter
+from repro.frame import Column, DataFrame
+from repro.ml import clear_fit_cache, make_classifier
+from repro.runtime import FitScoreTask, ProcessBackend, run_fit_score_task
+from repro.session import CleaningSession
+from repro.core.config import CometConfig
+
+
+@pytest.fixture
+def frame():
+    return DataFrame(
+        {
+            "num": [1.0, 2.0, np.nan, 4.0],
+            "cat": np.array(["a", "b", "a", None], dtype=object),
+            "label": [0, 1, 0, 1],
+        }
+    )
+
+
+class TestColumnIdentity:
+    def test_signature_is_stable_until_mutation(self):
+        col = Column("x", [1.0, 2.0, 3.0])
+        sig = col.signature
+        assert col.signature == sig
+        col.set_values([0], [9.0])
+        assert col.signature != sig
+        assert col.version == 1
+
+    def test_share_preserves_identity_take_mints_fresh(self):
+        col = Column("x", [1.0, 2.0, 3.0])
+        assert col.copy().signature == col.signature
+        assert col.take([0, 1]).signature != col.signature
+
+    def test_each_mutation_mints_a_new_token(self):
+        col = Column("x", [1.0, 2.0])
+        seen = {col.token}
+        for v in (5.0, 6.0, 7.0):
+            col.set_values([0], [v])
+            assert col.token not in seen
+            seen.add(col.token)
+        assert col.version == 3
+
+    def test_diverged_copies_never_share_a_signature(self):
+        # Both sides of a share mutate: their signatures must differ from
+        # each other and from the original (stale-cache hazard).
+        base = Column("x", [1.0, 2.0])
+        a, b = base.copy(), base.copy()
+        a.set_values([0], [10.0])
+        b.set_values([0], [20.0])
+        assert len({base.signature, a.signature, b.signature}) == 3
+
+    def test_set_missing_changes_identity(self):
+        col = Column("c", ["a", "b"])
+        sig = col.signature
+        col.set_missing([1])
+        assert col.signature != sig
+
+    def test_failed_partial_write_still_changes_identity(self):
+        # A mid-loop failure may leave cells partially overwritten; the
+        # old token must not survive, or caches would serve stale stats.
+        col = Column("c", ["a", "b", "a", "b"])
+        sig = col.signature
+        with pytest.raises(IndexError):
+            col.set_values(np.array([0, 99]), ["z", "w"])
+        assert col.signature != sig
+
+
+class TestMutationIsolation:
+    """The explicit COW regressions: mutating a polluted frame never
+    alters the clean parent, in either direction, on every share path."""
+
+    def test_init_mapping_shares_but_isolates(self):
+        col = Column("x", [1.0, 2.0, 3.0])
+        df = DataFrame({"renamed": col})
+        assert np.shares_memory(df["renamed"].values, col.values)
+        assert col.name == "x"  # renaming happened on the share
+        df["renamed"].set_values([0], [9.0])
+        assert col.values[0] == 1.0
+        col.set_values([1], [8.0])
+        assert df["renamed"].values[1] == 2.0
+
+    def test_copy_shares_storage_until_write(self, frame):
+        dup = frame.copy()
+        assert all(
+            np.shares_memory(dup[n].values, frame[n].values)
+            for n in frame.column_names
+        )
+        dup["num"].set_values([0], [99.0])
+        assert frame["num"].values[0] == 1.0
+        assert not np.shares_memory(dup["num"].values, frame["num"].values)
+        # Untouched columns keep sharing.
+        assert np.shares_memory(dup["cat"].values, frame["cat"].values)
+
+    def test_with_column_shares_untouched_siblings(self, frame):
+        polluted = frame.with_column(Column("num", [9.0, 9.0, 9.0, 9.0]))
+        assert np.shares_memory(polluted["cat"].values, frame["cat"].values)
+        polluted["cat"].set_missing([0])
+        assert frame["cat"].n_missing == 1  # only the original None
+        frame["cat"].set_values([0], ["z"])
+        assert polluted["cat"].values[0] is None
+
+    def test_select_isolates(self, frame):
+        sub = frame.select(["num"])
+        sub["num"].set_values([0], [42.0])
+        assert frame["num"].values[0] == 1.0
+
+    def test_mutating_polluted_frame_never_alters_clean_parent(self):
+        polluted = pollute(
+            load_dataset("cmc", n_rows=80), error_types=["missing"], rng=0
+        )
+        clean_before = {
+            n: polluted.clean_train[n].values.copy()
+            for n in polluted.clean_train.column_names
+        }
+        for feature in polluted.feature_names:
+            polluted.train[feature].set_missing([0])
+        for name, values in clean_before.items():
+            got = polluted.clean_train[name].values
+            if polluted.clean_train[name].is_numeric:
+                assert np.array_equal(got, values, equal_nan=True)
+            else:
+                assert np.array_equal(got, values)
+
+    def test_polluter_states_share_untouched_columns(self):
+        polluted = pollute(
+            load_dataset("cmc", n_rows=80), error_types=["missing"], rng=0
+        )
+        feature = polluted.feature_names[0]
+        polluter = Polluter(MissingValues(), step=0.05, rng=3)
+        states = polluter.incremental_states(polluted.train, feature, n_steps=2)[0]
+        other = [n for n in polluted.train.column_names if n != feature]
+        for state in states:
+            for name in other:
+                assert state.frame[name].signature == polluted.train[name].signature
+            assert state.frame[feature].signature != polluted.train[feature].signature
+
+
+class TestPickleRebuildsSharing:
+    def test_shared_pair_roundtrip(self, frame):
+        polluted = frame.with_column(frame["num"].with_missing([0]))
+        blob = pickle.dumps((frame, polluted))
+        clean2, polluted2 = pickle.loads(blob)
+        assert clean2 == frame and polluted2 == polluted
+        # Sharing is rebuilt: the untouched columns reference one array.
+        assert np.shares_memory(clean2["cat"].values, polluted2["cat"].values)
+        assert clean2["cat"].signature == polluted2["cat"].signature
+        # Tokens survive the trip (salted minting makes that safe).
+        assert clean2["cat"].signature == frame["cat"].signature
+        # And COW still guards the rebuilt share.
+        polluted2["cat"].set_values([0], ["z"])
+        assert clean2["cat"].values[0] == "a"
+
+    def test_legacy_pickle_without_tokens_gets_identity(self, frame):
+        state = frame["num"].__dict__.copy()
+        for key in ("_token", "_version", "_shared"):
+            state.pop(key, None)
+        revived = Column.__new__(Column)
+        revived.__setstate__(state)
+        assert isinstance(revived.signature, bytes)
+        assert revived.version == 0
+
+    def test_process_backend_roundtrip_matches_serial(self):
+        clear_fit_cache()
+        polluted = pollute(
+            load_dataset("cmc", n_rows=80), error_types=["missing"], rng=0
+        )
+        task = FitScoreTask(
+            estimator=make_classifier("lor"),
+            label=polluted.label,
+            train=polluted.train,
+            test=polluted.test,
+        )
+        serial = run_fit_score_task(task)
+        with ProcessBackend(2) as backend:
+            # Same task twice: the second run exercises worker-side cache
+            # hits on the pickled tokens; both must equal the serial run.
+            first, second = backend.map(run_fit_score_task, [task, task])
+        assert first == serial
+        assert second == serial
+
+
+class TestSessionCheckpointWithCOW:
+    def _make(self, **kwargs):
+        polluted = load_cleanml("titanic", n_rows=150, rng=0)
+        return CleaningSession.create(
+            polluted,
+            algorithm="lor",
+            error_types=["missing"],
+            budget=3.0,
+            config=CometConfig(step=0.05),
+            rng=0,
+            **kwargs,
+        )
+
+    def test_checkpoint_preserves_frame_sharing(self, tmp_path):
+        session = self._make()
+        state = session.state
+        shared = [
+            f
+            for f in state.dataset.feature_names
+            if np.shares_memory(
+                state.dataset.train[f].values, state.dataset.clean_train[f].values
+            )
+        ]
+        assert shared, "unpolluted features should share storage with ground truth"
+        path = tmp_path / "cow.ckpt"
+        session.save(path)
+        loaded = CleaningSession.load(path).state
+        for f in shared:
+            assert np.shares_memory(
+                loaded.dataset.train[f].values, loaded.dataset.clean_train[f].values
+            )
+
+    def test_midrun_resume_is_bit_identical_on_cleanml(self, tmp_path):
+        full = self._make().run()
+        session = self._make()
+        session.step()
+        session.step()
+        path = tmp_path / "midrun.ckpt"
+        session.save(path)
+        del session
+        combined = CleaningSession.load(path).run()
+        assert combined == full

@@ -277,12 +277,14 @@ class TestFitSignatureCache:
 
         clear_fit_cache()
         frame = self._frame()
-        # Only the two numeric columns are memoized; the categorical
-        # column's category set is cheaper to recompute than to digest.
+        # All three columns are memoized: with O(1) token signatures the
+        # categorical category set participates too.
         TabularPreprocessor(["a", "b", "c"]).fit(frame)
-        assert fit_cache_stats() == {"hits": 0, "misses": 2}
+        assert fit_cache_stats() == {
+            "hits": 0, "misses": 3, "transform_hits": 0, "transform_misses": 0,
+        }
         TabularPreprocessor(["a", "b", "c"]).fit(frame)
-        assert fit_cache_stats() == {"hits": 2, "misses": 2}
+        assert fit_cache_stats()["hits"] == 3
 
     def test_polluting_one_column_only_refits_that_column(self):
         from repro.ml import clear_fit_cache, fit_cache_stats
@@ -294,9 +296,75 @@ class TestFitSignatureCache:
         polluted["a"].set_missing([0, 1, 2])
         TabularPreprocessor(["a", "b", "c"]).fit(polluted)
         stats = fit_cache_stats()
-        # Numeric column b is unchanged → served from the cache; only the
-        # polluted numeric column a is recomputed.
-        assert stats == {"hits": 1, "misses": 3}
+        # Columns b and c share tokens with the base frame → served from
+        # the cache; only the polluted column a is recomputed.
+        assert stats["hits"] == 2
+        assert stats["misses"] == 4
+
+    def test_per_instance_counters_and_reset(self):
+        from repro.ml import clear_fit_cache, fit_cache_stats
+
+        clear_fit_cache()
+        frame = self._frame()
+        warm = TabularPreprocessor(["a", "b", "c"]).fit(frame)
+        second = TabularPreprocessor(["a", "b", "c"])
+        second.fit(frame)
+        # The instance counters see only this preprocessor's lookups,
+        # not the warm-up fit's.
+        assert warm.cache_stats_["misses"] == 3
+        assert second.cache_stats_ == {
+            "hits": 3, "misses": 0, "transform_hits": 0, "transform_misses": 0,
+        }
+        # reset=True reads and zeroes the process-wide counters.
+        assert fit_cache_stats(reset=True)["misses"] == 3
+        assert fit_cache_stats() == {
+            "hits": 0, "misses": 0, "transform_hits": 0, "transform_misses": 0,
+        }
+
+    def test_transform_matrix_memoized_for_unchanged_frames(self):
+        from repro.ml import clear_fit_cache
+
+        clear_fit_cache()
+        frame = self._frame()
+        prep = TabularPreprocessor(["a", "b", "c"]).fit(frame)
+        first = prep.transform(frame)
+        assert prep.cache_stats_["transform_misses"] == 1
+        second = prep.transform(frame)
+        assert prep.cache_stats_["transform_hits"] == 1
+        assert np.array_equal(first, second)
+        # Cached matrices must come back as private writable copies.
+        second[0, 0] = 123.0
+        assert prep.transform(frame)[0, 0] != 123.0
+
+    def test_transform_memo_misses_after_mutation(self):
+        from repro.ml import clear_fit_cache
+
+        clear_fit_cache()
+        frame = self._frame()
+        prep = TabularPreprocessor(["a", "b", "c"]).fit(frame)
+        prep.transform(frame)
+        mutated = frame.copy()
+        mutated["a"].set_values([0], [99.0])
+        out = prep.transform(mutated)
+        assert prep.cache_stats_["transform_hits"] == 0
+        assert np.array_equal(out, prep._transform_uncached(mutated))
+
+    def test_digest_mode_matches_token_mode_outputs(self):
+        from repro.ml import signature_mode
+
+        frame = self._frame()
+        token_fit = TabularPreprocessor(["a", "b", "c"]).fit(frame)
+        token_X = token_fit.transform(frame)
+        with signature_mode("digest"):
+            digest_fit = TabularPreprocessor(["a", "b", "c"]).fit(frame)
+            digest_X = digest_fit.transform(frame)
+            # The digest baseline caches numeric fits only and never
+            # memoizes matrices.
+            assert digest_fit.cache_stats_["misses"] == 3
+            assert digest_fit.cache_stats_["transform_misses"] == 0
+        assert token_fit.numeric_means_ == digest_fit.numeric_means_
+        assert token_fit.encoder_.categories_ == digest_fit.encoder_.categories_
+        assert np.array_equal(token_X, digest_X)
 
     def test_changed_content_is_a_miss_not_a_stale_hit(self):
         from repro.ml import clear_fit_cache
