@@ -1,0 +1,131 @@
+"""Drive a networked COMET service with the programmatic client.
+
+Two concurrent users share one `python -m repro serve --port ...`
+process: the example spawns a server (or connects to one you started,
+via ``--port``), opens two sessions, dispatches an *asynchronous* run on
+the first (``wait=False``), and keeps interacting with the second — live
+``status``, recommendations, a cleaning step — while the first session's
+sweep is still running on the server's scheduler. It finishes by
+collecting the async result, closing both sessions, and shutting the
+server down.
+
+Run:  python examples/service_client.py              # self-contained
+      python examples/service_client.py --port 8765  # reuse a server
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.service import CometClient
+
+SLOW_PARAMS = {
+    # A CleanML scenario whose sweeps take long enough to observe mid-run.
+    "dataset": "titanic", "cleanml": True, "algorithm": "mlp",
+    "budget": 50, "step": 0.02, "seed": 0,
+}
+FAST_PARAMS = {
+    "dataset": "cmc", "algorithm": "lor", "errors": ["missing"],
+    "budget": 2, "rows": 130, "step": 0.05, "seed": 0,
+}
+
+
+def spawn_server() -> tuple[subprocess.Popen, int]:
+    """Start `repro serve --port 0` and read the bound port back."""
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [src] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--workers", "2", "--max-sessions", "8"],
+        stdout=subprocess.PIPE, text=True, env=env,
+    )
+    ready = proc.stdout.readline().strip()  # "serving tcp on 127.0.0.1:N"
+    print(f"spawned server: {ready}")
+    return proc, int(ready.rsplit(":", 1)[1])
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--port", type=int, default=None,
+        help="connect to an already-running serve --port (default: spawn one)",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="server host (with --port)",
+    )
+    args = parser.parse_args()
+
+    proc = None
+    if args.port is None:
+        proc, port, host = *spawn_server(), "127.0.0.1"
+    else:
+        port, host = args.port, args.host
+
+    try:
+        with CometClient(port, host, timeout=600) as client:
+            print(f"service: {client.status()}")
+
+            print("\ncreating sessions 'slow' (CleanML/MLP) and 'fast' (cmc):")
+            created = client.create("slow", SLOW_PARAMS)
+            print(f"  slow: {created['open_candidates']} candidates")
+            created = client.create("fast", FAST_PARAMS)
+            print(f"  fast: {created['open_candidates']} candidates")
+
+            print("\ndispatching async run on 'slow' (wait=False):")
+            print(f"  {client.run('slow', max_iterations=3, wait=False)}")
+
+            print("while 'slow' iterates, 'fast' stays interactive:")
+            for candidate in client.recommend("fast", k=2):
+                print(
+                    f"  recommend: clean {candidate['feature']!r} "
+                    f"(predicted F1 {candidate['predicted_f1']:.3f})"
+                )
+            stepped = client.step("fast")
+            record = stepped["record"]
+            print(
+                f"  step: cleaned {record['feature']!r} "
+                f"(F1 {record['f1_before']:.3f} -> {record['f1_after']:.3f})"
+            )
+            started = time.perf_counter()
+            status = client.status("fast")
+            print(
+                f"  status('fast') answered in "
+                f"{time.perf_counter() - started:.3f}s while "
+                f"running={client.status('slow')['running']} on 'slow'"
+            )
+
+            print("\ncollecting the async run:")
+            outcome = client.result("slow")
+            trace = outcome["trace"]
+            final_f1 = (
+                trace["records"][-1]["f1_after"]
+                if trace["records"]
+                else trace["initial_f1"]
+            )
+            print(
+                f"  {len(trace['records'])} records, F1 "
+                f"{trace['initial_f1']:.3f} -> {final_f1:.3f}"
+            )
+
+            client.close_session("slow")
+            client.close_session("fast")
+            print(f"sessions closed; shutting down: {client.shutdown_server()}")
+    finally:
+        if proc is not None:
+            try:
+                code = proc.wait(timeout=60)
+            except subprocess.TimeoutExpired:
+                proc.kill()  # e.g. the client failed before shutdown_server
+                code = proc.wait()
+            print(f"server exited with code {code}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,8 +22,13 @@ from repro.datasets import dataset_summaries, load_dataset, pollute
 from repro.errors import PollutedDataset, Polluter, PrePollution
 from repro.frame import Column, DataFrame
 from repro.runtime import available_backends, make_backend
-from repro.service import CometService
-from repro.session import CleaningSession, SessionObserver, SessionState
+from repro.service import CometClient, CometService, SessionQuotas
+from repro.session import (
+    CheckpointVersionError,
+    CleaningSession,
+    SessionObserver,
+    SessionState,
+)
 
 __version__ = "1.0.0"
 
@@ -33,7 +38,10 @@ __all__ = [
     "CleaningSession",
     "SessionState",
     "SessionObserver",
+    "CheckpointVersionError",
     "CometService",
+    "CometClient",
+    "SessionQuotas",
     "CleaningTrace",
     "Budget",
     "CostModel",

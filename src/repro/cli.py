@@ -7,6 +7,8 @@ Examples::
         --methods comet rr fir --budget 10 --rows 240
     python -m repro recommend --dataset churn --algorithm gb --errors missing
     python -m repro serve --backend thread --jobs 4 < requests.jsonl
+    python -m repro serve --port 8765 --workers 4 --max-sessions 8
+    python -m repro serve --port 8766 --http
     python -m repro resume --checkpoint session.ckpt
 """
 
@@ -31,7 +33,13 @@ from repro.experiments import (
 )
 from repro.ml import available_algorithms
 from repro.runtime import available_backends
-from repro.service import CometService, serve_stream
+from repro.service import (
+    CometHTTPServer,
+    CometService,
+    CometTCPServer,
+    SessionQuotas,
+    serve_stream,
+)
 from repro.session import CleaningSession
 
 __all__ = ["main", "build_parser"]
@@ -65,12 +73,44 @@ def build_parser() -> argparse.ArgumentParser:
     srv = sub.add_parser(
         "serve",
         help="serve many named cleaning sessions over JSON lines "
-             "(one request per stdin line, one response per stdout line)",
+             "(stdin/stdout by default; --port for TCP, --http for HTTP)",
     )
     srv.add_argument(
         "--no-checkpoint-io", action="store_true",
         help="disable the checkpoint verbs (file write / pickle load at "
              "request-supplied paths) for less-trusted request streams",
+    )
+    srv.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address for networked serving (default: loopback only)",
+    )
+    srv.add_argument(
+        "--port", type=int, default=None,
+        help="serve line-delimited JSON over TCP on this port instead of "
+             "stdio (0 picks an ephemeral port, printed at startup)",
+    )
+    srv.add_argument(
+        "--http", action="store_true",
+        help="serve the HTTP/1.1 adapter (POST /rpc, POST /<verb>, "
+             "GET /status) instead of raw JSON lines; requires --port",
+    )
+    srv.add_argument(
+        "--workers", type=_positive_int, default=4,
+        help="session-scheduler worker threads: how many sweep verbs "
+             "(recommend/step/run) may iterate concurrently "
+             "(status/checkpoint never queue behind them)",
+    )
+    srv.add_argument(
+        "--max-sessions", type=_positive_int, default=None,
+        help="quota: concurrent sessions one client may hold open",
+    )
+    srv.add_argument(
+        "--max-iterations", type=_positive_int, default=None,
+        help="quota: estimation sweeps one session may consume in total",
+    )
+    srv.add_argument(
+        "--max-seconds", type=_positive_float, default=None,
+        help="quota: accumulated engine wall-clock seconds per session",
     )
     _backend_args(srv)
 
@@ -86,6 +126,20 @@ def build_parser() -> argparse.ArgumentParser:
     res.add_argument("--trace", help="write the final trace as JSON to this path")
     _backend_args(res)
     return parser
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+    return value
 
 
 def _common_args(parser: argparse.ArgumentParser) -> None:
@@ -188,17 +242,39 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace, in_stream=None, out_stream=None) -> int:
-    """JSON-lines serving loop over a shared-backend session service."""
+    """Serve sessions over stdio JSON lines, TCP, or the HTTP adapter."""
+    if args.http and args.port is None:
+        print("serve: --http requires --port", file=sys.stderr)
+        return 2
+    quotas = SessionQuotas(
+        max_iterations=args.max_iterations,
+        max_seconds=args.max_seconds,
+        max_sessions=args.max_sessions,
+    )
     with CometService(
         backend=args.backend,
         jobs=args.jobs,
         checkpoint_io=not args.no_checkpoint_io,
+        quotas=quotas,
+        workers=args.workers,
     ) as service:
-        serve_stream(
-            service,
-            sys.stdin if in_stream is None else in_stream,
-            sys.stdout if out_stream is None else out_stream,
-        )
+        if args.port is None:
+            serve_stream(
+                service,
+                sys.stdin if in_stream is None else in_stream,
+                sys.stdout if out_stream is None else out_stream,
+            )
+            return 0
+        server_cls = CometHTTPServer if args.http else CometTCPServer
+        with server_cls(service, (args.host, args.port)) as server:
+            kind = "http" if args.http else "tcp"
+            # Parseable readiness line: scripts read the bound (possibly
+            # ephemeral) port from here before connecting.
+            print(f"serving {kind} on {server.host}:{server.port}", flush=True)
+            try:
+                server.serve_forever()
+            except KeyboardInterrupt:
+                pass
     return 0
 
 

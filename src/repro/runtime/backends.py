@@ -18,6 +18,7 @@ import warnings
 from concurrent.futures import (
     BrokenExecutor,
     Executor,
+    Future,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
 )
@@ -42,6 +43,22 @@ class ExecutionBackend(abc.ABC):
     @abc.abstractmethod
     def map(self, fn: Callable, tasks: Iterable) -> list:
         """Apply ``fn`` to every task; results come back in task order."""
+
+    def submit(self, fn: Callable, /, *args) -> Future:
+        """Run ``fn(*args)`` asynchronously, returning its :class:`Future`.
+
+        The default runs inline and returns an already-resolved future,
+        so serial execution keeps its strict ordering; pooled backends
+        override this with a real dispatch. ``submit`` is the primitive
+        the session scheduler (``repro.service``) builds on — ``map``
+        remains the verb of the deterministic sweep contract.
+        """
+        future: Future = Future()
+        try:
+            future.set_result(fn(*args))
+        except BaseException as exc:  # noqa: BLE001 — futures carry failures
+            future.set_exception(exc)
+        return future
 
     def start(self) -> None:
         """Acquire worker resources (no-op for serial execution)."""
@@ -124,6 +141,10 @@ class _PooledBackend(ExecutionBackend):
         # between the acquire and the dispatch.
         return list(self._acquire_pool().map(fn, tasks))
 
+    def submit(self, fn: Callable, /, *args) -> Future:
+        """Dispatch ``fn(*args)`` onto the pool, returning its future."""
+        return self._acquire_pool().submit(fn, *args)
+
 
 class ThreadBackend(_PooledBackend):
     """Thread-pool execution: shared memory, no pickling.
@@ -188,3 +209,19 @@ class ProcessBackend(_PooledBackend):
                 stacklevel=2,
             )
             return [fn(task) for task in tasks]
+
+    def submit(self, fn: Callable, /, *args) -> Future:
+        """Dispatch onto the pool; a degraded backend resolves inline."""
+        if self._degraded:
+            return ExecutionBackend.submit(self, fn, *args)
+        try:
+            return self._acquire_pool().submit(fn, *args)
+        except (BrokenExecutor, OSError, PermissionError) as exc:
+            self.shutdown()
+            self._degraded = True
+            warnings.warn(
+                f"process backend unavailable ({exc}); running tasks inline",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return ExecutionBackend.submit(self, fn, *args)

@@ -5,10 +5,43 @@ registry of named :class:`~repro.session.CleaningSession` objects, all
 dispatching their estimation sweeps through a single shared
 ``repro.runtime`` backend, and exposes JSON request/response handlers
 (``create`` / ``recommend`` / ``step`` / ``run`` / ``status`` /
-``checkpoint`` / ``close``) plus a JSON-lines stream loop for the CLI's
-``serve`` subcommand.
+``result`` / ``checkpoint`` / ``close``).
+
+Iteration verbs run on a bounded :class:`SessionScheduler` worker pool
+keyed by session, per-session budgets (:class:`SessionQuotas`) are
+enforced at the verb layer, and three transports carry the verbs: the
+JSON-lines stream loop (CLI ``serve`` on stdio), the line-delimited-JSON
+:class:`CometTCPServer` (CLI ``serve --port``), and the minimal
+:class:`CometHTTPServer` adapter (``serve --port --http``).
+:class:`CometClient` is the programmatic TCP client.
 """
 
-from repro.service.service import CometService, serve_stream
+from repro.service.quotas import (
+    QuotaExceededError,
+    ServiceError,
+    SessionBusyError,
+    SessionQuotas,
+)
+from repro.service.scheduler import SessionScheduler
+from repro.service.service import CometService, dispatch_line, serve_stream
+from repro.service.transport import (
+    CometClient,
+    CometClientError,
+    CometHTTPServer,
+    CometTCPServer,
+)
 
-__all__ = ["CometService", "serve_stream"]
+__all__ = [
+    "CometService",
+    "serve_stream",
+    "dispatch_line",
+    "SessionScheduler",
+    "SessionQuotas",
+    "ServiceError",
+    "QuotaExceededError",
+    "SessionBusyError",
+    "CometTCPServer",
+    "CometHTTPServer",
+    "CometClient",
+    "CometClientError",
+]

@@ -15,20 +15,63 @@ Two API layers:
   ``session`` / ``close_session``) handing out live session objects;
 - a JSON request/response one (:meth:`CometService.handle`) with the
   verbs ``create``, ``recommend``, ``step``, ``run``, ``status``,
-  ``checkpoint``, and ``close`` — the CLI's ``serve`` subcommand wires
-  it to a JSON-lines stream via :func:`serve_stream`.
+  ``result``, ``checkpoint``, and ``close``.
+
+Sweep verbs (``recommend``/``step``/``run`` — each pays an E1
+estimation sweep) are dispatched through a bounded
+:class:`~repro.service.scheduler.SessionScheduler`, so a slow sweep on
+one session never blocks ``status``/``checkpoint`` on another — pass
+``"wait": false`` to get the response immediately and collect the
+outcome later with ``result``. Per-session budgets
+(:class:`~repro.service.quotas.SessionQuotas`) are enforced at the verb
+layer and surface as structured JSON errors. Failures are rendered as
+``{"ok": false, "error": {"type", "message", "code"?, "details"?}}``.
+
+Transports: :func:`serve_stream` wires the verbs to a JSON-lines stream
+(the CLI's stdio mode); ``repro.service.transport`` adds the TCP and
+HTTP servers plus the :class:`~repro.service.transport.CometClient`.
 """
 
 from __future__ import annotations
 
 import json
 import threading
+import time
+from dataclasses import dataclass, field
 
 from repro.experiments import Configuration, build_polluted
 from repro.runtime import ExecutionBackend, make_backend
+from repro.service.quotas import SessionBusyError, SessionQuotas, error_payload
+from repro.service.scheduler import SessionScheduler
 from repro.session import CleaningSession, SessionState
 
-__all__ = ["CometService", "serve_stream"]
+__all__ = ["CometService", "serve_stream", "dispatch_line"]
+
+
+@dataclass
+class _Reservation:
+    """Placeholder registered while a session is still being built.
+
+    Carries the creating client's identity so racing ``create`` calls
+    count in-flight builds against the per-client session quota — a
+    bare ``None`` placeholder would let two concurrent creates both
+    squeeze under the cap while neither is fully registered yet.
+    """
+
+    client: str = "local"
+
+
+@dataclass
+class _SessionRecord:
+    """Service-side bookkeeping wrapped around one live session."""
+
+    session: CleaningSession
+    #: Serializes iteration work and state reads for this session.
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    #: Identity of the creating client (quota accounting key).
+    client: str = "local"
+    #: Accumulated engine wall-clock spent in iteration verbs (seconds).
+    elapsed: float = 0.0
 
 
 class CometService:
@@ -48,11 +91,21 @@ class CometService:
         caller-supplied file — code execution if the file is hostile).
         Disable when the request stream is less trusted than the
         operator; the programmatic API is unaffected.
+    quotas:
+        Per-client/per-session resource limits enforced at the verb
+        layer (default: unlimited).
+    workers:
+        Worker threads of the session scheduler — the number of sweep
+        verbs (``recommend``/``step``/``run``) that may run
+        concurrently. Must be >= 1.
 
     The service is thread-safe: the session registry is lock-protected
     and each session additionally has its own lock, so handlers for
     *different* sessions run concurrently (sharing the worker pool)
-    while requests against the *same* session serialize.
+    while requests against the *same* session serialize. ``run`` holds a
+    session's lock per *iteration*, not for the whole run, so ``status``
+    and ``checkpoint`` on a running session answer at the next iteration
+    boundary.
     """
 
     def __init__(
@@ -60,18 +113,23 @@ class CometService:
         backend: str | ExecutionBackend = "serial",
         jobs: int = 1,
         checkpoint_io: bool = True,
+        quotas: SessionQuotas | None = None,
+        workers: int = 4,
     ) -> None:
         self.backend = make_backend(backend, jobs)
         self.checkpoint_io = checkpoint_io
-        self._sessions: dict[str, CleaningSession] = {}
-        self._session_locks: dict[str, threading.Lock] = {}
+        self.quotas = quotas or SessionQuotas()
+        self.scheduler = SessionScheduler(workers)
+        self._sessions: dict[str, _SessionRecord] = {}
         self._lock = threading.Lock()
         self._closed = False
 
     # ------------------------------------------------------------------ #
     # programmatic API
     # ------------------------------------------------------------------ #
-    def create_session(self, name: str, dataset, **kwargs) -> CleaningSession:
+    def create_session(
+        self, name: str, dataset, *, client: str = "local", **kwargs
+    ) -> CleaningSession:
         """Register a fresh session under ``name`` (a polluted dataset in
         hand; keyword arguments as in :meth:`CleaningSession.create`)."""
         return self._build_session(
@@ -79,9 +137,12 @@ class CometService:
             lambda: CleaningSession.create(
                 dataset, backend=self.backend, own_backend=False, **kwargs
             ),
+            client=client,
         )
 
-    def load_session(self, name: str, path) -> CleaningSession:
+    def load_session(
+        self, name: str, path, *, client: str = "local"
+    ) -> CleaningSession:
         """Register a checkpointed session under ``name``.
 
         The checkpoint is a pickle (see :meth:`SessionState.load`); only
@@ -92,49 +153,66 @@ class CometService:
             lambda: CleaningSession.load(
                 path, backend=self.backend, own_backend=False
             ),
+            client=client,
         )
 
-    def adopt_session(self, name: str, state: SessionState) -> CleaningSession:
+    def adopt_session(
+        self, name: str, state: SessionState, *, client: str = "local"
+    ) -> CleaningSession:
         """Register an existing state under ``name`` (shared backend)."""
         return self._build_session(
             name,
             lambda: CleaningSession(state, backend=self.backend, own_backend=False),
+            client=client,
         )
 
     def session(self, name: str) -> CleaningSession:
         """The live session registered under ``name``."""
-        with self._lock:
-            session = self._sessions.get(name)
-        if session is None:
-            raise KeyError(f"no session named {name!r}")
-        return session
+        return self._record(name).session
 
     def names(self) -> list[str]:
         """Names of all fully registered sessions, sorted."""
         with self._lock:
-            return sorted(n for n, s in self._sessions.items() if s is not None)
+            return sorted(
+                n
+                for n, r in self._sessions.items()
+                if isinstance(r, _SessionRecord)
+            )
 
     def close_session(self, name: str) -> None:
         """Drop a session from the registry (the shared backend stays up)."""
+        if self.scheduler.running(name):
+            raise SessionBusyError(
+                f"session {name!r} has an iteration verb in flight; "
+                "collect it with 'result' before closing",
+                name=name,
+            )
         with self._lock:
-            if self._sessions.get(name) is None:  # absent or still being built
+            # Absent, or still being built (a _Reservation): not closable.
+            if not isinstance(self._sessions.get(name), _SessionRecord):
                 raise KeyError(f"no session named {name!r}")
             del self._sessions[name]
-            del self._session_locks[name]
+        self.scheduler.discard(name)
 
     def shutdown(self) -> None:
         """Drop every session, drain in-flight requests, shut the backend.
 
-        Acquiring every session lock before the backend goes down lets
-        running handlers finish their dispatch first (the drain the
-        backend layer requires); requests arriving afterwards get a
-        "service is shut down" error response.
+        The scheduler drains first (iteration jobs own session locks
+        while sweeping); acquiring every session lock before the backend
+        goes down then lets remaining handlers finish their dispatch
+        (the drain the backend layer requires). Requests arriving
+        afterwards get a "service is shut down" error response.
         """
         with self._lock:
             self._closed = True
-            locks = list(self._session_locks.values())
+        self.scheduler.shutdown()
+        with self._lock:
+            locks = [
+                r.lock
+                for r in self._sessions.values()
+                if isinstance(r, _SessionRecord)
+            ]
             self._sessions.clear()
-            self._session_locks.clear()
         for lock in locks:
             lock.acquire()
         try:
@@ -149,16 +227,28 @@ class CometService:
     def __exit__(self, *exc_info) -> None:
         self.shutdown()
 
-    def _build_session(self, name: str, builder) -> CleaningSession:
+    def _build_session(
+        self, name: str, builder, client: str = "local"
+    ) -> CleaningSession:
         """Reserve ``name``, then build — so a duplicate name fails fast
         instead of after the (potentially expensive) session construction,
-        and two concurrent creates for one name cannot both build."""
+        and two concurrent creates for one name cannot both build. The
+        per-client session quota is checked under the same lock, so two
+        racing creates cannot both squeeze under the cap."""
         with self._lock:
             if self._closed:
                 raise RuntimeError("service is shut down")
             if name in self._sessions:
                 raise ValueError(f"session {name!r} already exists")
-            self._sessions[name] = None  # reservation placeholder
+            # Reservations count too: a build in flight already holds a
+            # slot, so racing creates cannot overshoot the quota.
+            held = sum(
+                1
+                for record in self._sessions.values()
+                if record.client == client
+            )
+            self.quotas.check_create(client, held)
+            self._sessions[name] = _Reservation(client=client)
         try:
             session = builder()
         except BaseException:
@@ -166,26 +256,27 @@ class CometService:
                 self._sessions.pop(name, None)
             raise
         with self._lock:
-            self._sessions[name] = session
-            self._session_locks[name] = threading.Lock()
+            self._sessions[name] = _SessionRecord(session=session, client=client)
         return session
 
-    def _locked(self, name: str) -> tuple[CleaningSession, threading.Lock]:
+    def _record(self, name: str) -> _SessionRecord:
         with self._lock:
-            session = self._sessions.get(name)
-            lock = self._session_locks.get(name)
-        if session is None or lock is None:
+            record = self._sessions.get(name)
+        if not isinstance(record, _SessionRecord):
             raise KeyError(f"no session named {name!r}")
-        return session, lock
+        return record
 
     # ------------------------------------------------------------------ #
     # JSON request/response API
     # ------------------------------------------------------------------ #
-    def handle(self, request: dict) -> dict:
+    def handle(self, request: dict, *, client: str = "local") -> dict:
         """Dispatch one JSON-style request.
 
         Requests are ``{"action": <verb>, ...}``; responses are
-        ``{"ok": true, "result": ...}`` or ``{"ok": false, "error": ...}``.
+        ``{"ok": true, "result": ...}`` or ``{"ok": false, "error":
+        {"type", "message", "code"?, "details"?}}``. ``client`` is the
+        caller's identity for per-client quotas (transports pass the
+        peer address; stdio and programmatic callers share ``"local"``).
         """
         try:
             action = request.get("action")
@@ -195,19 +286,20 @@ class CometService:
                 "step": self._handle_step,
                 "run": self._handle_run,
                 "status": self._handle_status,
+                "result": self._handle_result,
                 "checkpoint": self._handle_checkpoint,
                 "close": self._handle_close,
             }.get(action)
             if handler is None:
                 raise ValueError(
                     f"unknown action {action!r}; expected one of create, "
-                    "recommend, step, run, status, checkpoint, close"
+                    "recommend, step, run, status, result, checkpoint, close"
                 )
-            return {"ok": True, "result": handler(request)}
+            return {"ok": True, "result": handler(request, client)}
         except Exception as exc:  # noqa: BLE001 — every failure becomes a response
-            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+            return {"ok": False, "error": error_payload(exc)}
 
-    def _handle_create(self, request: dict) -> dict:
+    def _handle_create(self, request: dict, client: str) -> dict:
         # Parameter defaults follow the library/paper (step 0.01, full
         # dataset rows) rather than the CLI's laptop-scale defaults —
         # service callers state their scenario explicitly. A `checkpoint`
@@ -216,7 +308,7 @@ class CometService:
         checkpoint = request.get("checkpoint")
         if checkpoint is not None:
             self._require_checkpoint_io()
-            session = self.load_session(name, checkpoint)
+            session = self.load_session(name, checkpoint, client=client)
         else:
             params = request.get("params", {})
             config = Configuration(
@@ -233,6 +325,7 @@ class CometService:
             session = self.create_session(
                 name,
                 polluted,
+                client=client,
                 algorithm=config.algorithm,
                 error_types=list(config.error_types),
                 budget=config.budget,
@@ -242,11 +335,30 @@ class CometService:
             )
         return {"name": name, **session.status()}
 
-    def _handle_recommend(self, request: dict) -> dict:
-        session, lock = self._locked(_required(request, "name"))
+    # ------------------------------------------------------------------ #
+    # sweep verbs (scheduled)
+    # ------------------------------------------------------------------ #
+    def _handle_recommend(self, request: dict, client: str) -> dict:
+        # A recommendation pays a full E1 estimation sweep — the same
+        # compute as one run iteration — so it is scheduled and
+        # quota-accounted like the other sweep verbs (it just never
+        # advances the iteration counter or touches data/budget).
+        name = _required(request, "name")
+        self._record(name)
         k = int(request.get("k", 3))
-        with lock:
-            candidates = session.recommend(k=k)
+        return self._dispatch(
+            name, lambda: self._recommend_session(name, k), request
+        )
+
+    def _recommend_session(self, name: str, k: int) -> dict:
+        record = self._record(name)
+        with record.lock:
+            self._check_iteration_quota(name, record)
+            started = time.perf_counter()
+            try:
+                candidates = record.session.recommend(k=k)
+            finally:
+                record.elapsed += time.perf_counter() - started
         return {
             "candidates": [
                 {
@@ -262,49 +374,129 @@ class CometService:
             ]
         }
 
-    def _handle_step(self, request: dict) -> dict:
-        session, lock = self._locked(_required(request, "name"))
-        with lock:
-            record = session.step()
+    def _handle_step(self, request: dict, client: str) -> dict:
+        name = _required(request, "name")
+        self._record(name)  # fail fast on unknown names, before scheduling
+        return self._dispatch(name, lambda: self._step_session(name), request)
+
+    def _handle_run(self, request: dict, client: str) -> dict:
+        name = _required(request, "name")
+        self._record(name)
+        max_iterations = request.get("max_iterations")
+        if max_iterations is not None:
+            max_iterations = int(max_iterations)
+        return self._dispatch(
+            name, lambda: self._run_session(name, max_iterations), request
+        )
+
+    def _dispatch(self, name: str, job, request: dict) -> dict:
+        """Route an iteration job through the bounded scheduler.
+
+        ``"wait": false`` returns immediately (collect with ``result``);
+        the default blocks for the job's payload, preserving synchronous
+        verb semantics while still bounding concurrent iteration work.
+        """
+        future = self.scheduler.submit(name, job)
+        if not request.get("wait", True):
+            return {"name": name, "scheduled": True}
+        return self.scheduler.collect(name, future)
+
+    def _handle_result(self, request: dict, client: str) -> dict:
+        name = _required(request, "name")
+        future = self.scheduler.job(name)
+        if future is None:
+            raise KeyError(f"no scheduled iteration verb for session {name!r}")
+        if not request.get("wait", True) and not future.done():
+            return {"name": name, "ready": False}
+        # collect() re-raises the job's failure (e.g. QuotaExceededError
+        # from mid-run exhaustion), which handle() turns into the same
+        # structured error a synchronous verb would have produced.
+        payload = self.scheduler.collect(name, future)
+        return {"name": name, "ready": True, **payload}
+
+    def _step_session(self, name: str) -> dict:
+        record = self._record(name)
+        with record.lock:
+            self._check_iteration_quota(name, record)
+            started = time.perf_counter()
+            try:
+                result = record.session.step()
+            finally:
+                record.elapsed += time.perf_counter() - started
             return {
-                "record": record.to_dict() if record is not None else None,
-                "finished": session.is_finished,
+                "record": result.to_dict() if result is not None else None,
+                "finished": record.session.is_finished,
             }
 
-    def _handle_run(self, request: dict) -> dict:
-        session, lock = self._locked(_required(request, "name"))
-        max_iterations = request.get("max_iterations")
-        with lock:
-            if max_iterations is None:
-                trace = session.run()
-            else:
-                for __ in range(int(max_iterations)):
-                    if not session.iterate():
-                        break
-                trace = session.trace
+    def _run_session(self, name: str, max_iterations: int | None = None) -> dict:
+        """Run a session out (or ``max_iterations`` sweeps), quota-gated.
+
+        The session lock is held per iteration, so ``status`` and
+        ``checkpoint`` interleave at iteration boundaries instead of
+        waiting for the whole run. Quotas are checked *before* each
+        sweep: exhaustion surfaces as a structured error while the state
+        sits on a clean boundary — still checkpointable, still
+        inspectable.
+        """
+        record = self._record(name)
+        session = record.session
+        sweeps = 0
+        while True:
+            with record.lock:
+                if session.is_finished:
+                    break
+                self._check_iteration_quota(name, record)
+                started = time.perf_counter()
+                try:
+                    records = session.iterate()
+                finally:
+                    record.elapsed += time.perf_counter() - started
+            if not records:
+                break
+            sweeps += 1
+            if max_iterations is not None and sweeps >= max_iterations:
+                break
+        with record.lock:
+            trace = session.trace
             return {
                 "trace": trace.to_dict() if trace is not None else None,
                 "finished": session.is_finished,
             }
 
-    def _handle_status(self, request: dict) -> dict:
+    def _check_iteration_quota(self, name: str, record: _SessionRecord) -> None:
+        self.quotas.check_iteration(
+            name, record.session.state.iteration, record.elapsed
+        )
+
+    # ------------------------------------------------------------------ #
+    # cheap verbs
+    # ------------------------------------------------------------------ #
+    def _handle_status(self, request: dict, client: str) -> dict:
         name = request.get("name")
         if name is None:
             return {
                 "sessions": self.names(),
                 "backend": self.backend.name,
                 "workers": self.backend.workers,
+                "scheduler_workers": self.scheduler.workers,
+                "quotas": self.quotas.to_dict(),
             }
-        session, lock = self._locked(name)
-        with lock:
-            return {"name": name, **session.status()}
+        record = self._record(name)
+        running = self.scheduler.running(name)
+        with record.lock:
+            return {
+                "name": name,
+                **record.session.status(),
+                "running": running,
+                "elapsed_seconds": round(record.elapsed, 6),
+            }
 
-    def _handle_checkpoint(self, request: dict) -> dict:
+    def _handle_checkpoint(self, request: dict, client: str) -> dict:
         self._require_checkpoint_io()
-        session, lock = self._locked(_required(request, "name"))
+        record = self._record(_required(request, "name"))
         path = _required(request, "path")
-        with lock:
-            session.save(path)
+        with record.lock:
+            record.session.save(path)
         return {"path": str(path)}
 
     def _require_checkpoint_io(self) -> None:
@@ -314,7 +506,7 @@ class CometService:
                 "(start it with checkpoint_io=True / without --no-checkpoint-io)"
             )
 
-    def _handle_close(self, request: dict) -> dict:
+    def _handle_close(self, request: dict, client: str) -> dict:
         name = _required(request, "name")
         self.close_session(name)
         return {"closed": name}
@@ -325,6 +517,47 @@ def _required(mapping: dict, key: str):
     if value is None:
         raise ValueError(f"missing required field {key!r}")
     return value
+
+
+def dispatch_line(
+    service: CometService, text: str, *, client: str = "local"
+) -> tuple[dict, bool]:
+    """Decode one line-delimited JSON request and dispatch it.
+
+    The shared framing of every transport (stdio, TCP): invalid JSON
+    and non-object requests become structured error responses instead
+    of terminating the serving loop. Returns ``(response, stop)`` where
+    ``stop`` is True for the stream-level ``shutdown`` verb.
+    """
+    try:
+        request = json.loads(text)
+    except json.JSONDecodeError as exc:
+        return (
+            {
+                "ok": False,
+                "error": {
+                    "type": "JSONDecodeError",
+                    "message": f"invalid JSON: {exc}",
+                    "code": "bad_frame",
+                },
+            },
+            False,
+        )
+    if not isinstance(request, dict):
+        return (
+            {
+                "ok": False,
+                "error": {
+                    "type": "TypeError",
+                    "message": "request must be a JSON object",
+                    "code": "bad_frame",
+                },
+            },
+            False,
+        )
+    if request.get("action") == "shutdown":
+        return {"ok": True, "result": {"shutdown": True}}, True
+    return service.handle(request, client=client), False
 
 
 def serve_stream(service: CometService, in_stream, out_stream) -> int:
@@ -341,21 +574,9 @@ def serve_stream(service: CometService, in_stream, out_stream) -> int:
         line = line.strip()
         if not line:
             continue
-        try:
-            request = json.loads(line)
-        except json.JSONDecodeError as exc:
-            response = {"ok": False, "error": f"invalid JSON: {exc}"}
-        else:
-            if isinstance(request, dict) and request.get("action") == "shutdown":
-                print(json.dumps({"ok": True, "result": {"shutdown": True}}),
-                      file=out_stream, flush=True)
-                handled += 1
-                break
-            response = (
-                service.handle(request)
-                if isinstance(request, dict)
-                else {"ok": False, "error": "request must be a JSON object"}
-            )
+        response, stop = dispatch_line(service, line)
         print(json.dumps(response), file=out_stream, flush=True)
         handled += 1
+        if stop:
+            break
     return handled

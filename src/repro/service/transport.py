@@ -1,0 +1,494 @@
+"""Network transports for :class:`~repro.service.CometService`.
+
+Everything here is stdlib-only and speaks the same verbs as the
+in-process ``handle`` — a networked trace is bit-identical to an
+in-process one because the transport only moves JSON, never touches
+session state.
+
+- :class:`CometTCPServer` — line-delimited JSON over TCP: one request
+  per line in, one response per line out, many concurrent connections
+  (``socketserver.ThreadingTCPServer``). Malformed, oversized, and
+  truncated frames come back as structured error responses; only a
+  vanished peer ends a connection.
+- :class:`CometHTTPServer` — a minimal HTTP/1.1 adapter for
+  curl/browser clients: ``POST /rpc`` with a full request object,
+  ``POST /<verb>`` with the verb's fields, ``GET /status[/<name>]``.
+- :class:`CometClient` — a small programmatic client for the TCP
+  transport; verb methods unwrap ``result`` or raise
+  :class:`CometClientError` carrying the server's structured error.
+
+Both servers honor the stream-level ``shutdown`` verb (``POST
+/shutdown`` over HTTP): the response is sent, then ``serve_forever``
+returns — which is how the CLI's ``serve --port`` terminates cleanly
+from a remote request. Quota accounting keys on the peer host, so every
+connection from one machine shares that client's session allowance.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.service.quotas import ServiceError
+from repro.service.service import CometService, dispatch_line
+
+__all__ = [
+    "CometTCPServer",
+    "CometHTTPServer",
+    "CometClient",
+    "CometClientError",
+    "DEFAULT_MAX_FRAME",
+]
+
+#: Upper bound on one request frame (bytes) before it is rejected.
+DEFAULT_MAX_FRAME = 1_000_000
+
+#: Verbs the HTTP adapter exposes as ``POST /<verb>``.
+_HTTP_VERBS = (
+    "create",
+    "recommend",
+    "step",
+    "run",
+    "status",
+    "result",
+    "checkpoint",
+    "close",
+)
+
+
+def _frame_error(message: str) -> dict:
+    return {
+        "ok": False,
+        "error": {"type": "FrameError", "message": message, "code": "bad_frame"},
+    }
+
+
+class _CometServerMixin:
+    """Shared lifecycle of both networked servers (TCP and HTTP).
+
+    Expects to precede a ``socketserver.BaseServer`` subclass in the
+    MRO; holds the service reference, frame limit, address accessors,
+    and the two shutdown/backgrounding helpers.
+    """
+
+    def __init__(
+        self,
+        service: CometService,
+        address: tuple[str, int],
+        handler,
+        *,
+        max_frame: int,
+        thread_name: str,
+    ) -> None:
+        super().__init__(address, handler)
+        self.service = service
+        self.max_frame = max_frame
+        self._thread_name = thread_name
+
+    @property
+    def host(self) -> str:
+        return self.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    def request_shutdown(self) -> None:
+        """Stop ``serve_forever`` without joining the caller's thread."""
+        threading.Thread(target=self.shutdown, daemon=True).start()
+
+    def serve_background(self) -> threading.Thread:
+        """Run ``serve_forever`` on a daemon thread (tests, embedding)."""
+        thread = threading.Thread(
+            target=self.serve_forever, name=self._thread_name, daemon=True
+        )
+        thread.start()
+        return thread
+
+
+# ---------------------------------------------------------------------- #
+# TCP: line-delimited JSON
+# ---------------------------------------------------------------------- #
+class _TCPHandler(socketserver.StreamRequestHandler):
+    """One connection: a loop of JSON lines, resilient to bad frames."""
+
+    def handle(self) -> None:  # noqa: D102 — socketserver hook
+        server: CometTCPServer = self.server  # type: ignore[assignment]
+        client = self.client_address[0]
+        limit = server.max_frame
+        while True:
+            try:
+                line = self.rfile.readline(limit + 1)
+            except (ConnectionError, OSError):
+                return  # peer vanished mid-read
+            if not line:
+                return  # clean EOF between frames
+            if len(line) > limit:
+                # Drop the rest of the oversized line — unless readline
+                # already returned a complete line (frame of exactly
+                # limit+1 bytes), where draining would eat the client's
+                # *next* request. EOF mid-drain closes after the reply.
+                drained = line.endswith(b"\n") or self._drain_line(limit)
+                if not self._reply(_frame_error(f"frame exceeds {limit} bytes")):
+                    return
+                if not drained:
+                    return
+                continue
+            if not line.endswith(b"\n"):
+                # EOF in the middle of a frame: report, then close.
+                self._reply(_frame_error("truncated frame (EOF before newline)"))
+                return
+            text = line.decode("utf-8", errors="replace").strip()
+            if not text:
+                continue
+            response, stop = dispatch_line(server.service, text, client=client)
+            if not self._reply(response):
+                return
+            if stop:
+                server.request_shutdown()
+                return
+
+    def _drain_line(self, limit: int) -> bool:
+        """Consume the oversized frame up to its newline.
+
+        Returns False when EOF arrives first (the frame was also
+        truncated — the connection is done after the error reply).
+        """
+        while True:
+            try:
+                chunk = self.rfile.readline(limit + 1)
+            except (ConnectionError, OSError):
+                return False
+            if not chunk:
+                return False
+            if chunk.endswith(b"\n"):
+                return True
+
+    def _reply(self, response: dict) -> bool:
+        try:
+            self.wfile.write(json.dumps(response).encode("utf-8") + b"\n")
+            self.wfile.flush()
+            return True
+        except (ConnectionError, OSError):
+            return False
+
+
+class CometTCPServer(_CometServerMixin, socketserver.ThreadingTCPServer):
+    """Line-delimited-JSON TCP transport over one :class:`CometService`.
+
+    Each connection gets its own handler thread, so a connection blocked
+    in a synchronous ``run`` never delays another connection's
+    ``status`` — and ``"wait": false`` keeps even a single connection
+    responsive. Bind to port 0 for an ephemeral port (read it back from
+    :attr:`port`).
+    """
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(
+        self,
+        service: CometService,
+        address: tuple[str, int] = ("127.0.0.1", 0),
+        *,
+        max_frame: int = DEFAULT_MAX_FRAME,
+    ) -> None:
+        super().__init__(
+            service,
+            address,
+            _TCPHandler,
+            max_frame=max_frame,
+            thread_name="comet-tcp-server",
+        )
+
+
+# ---------------------------------------------------------------------- #
+# HTTP/1.1 adapter
+# ---------------------------------------------------------------------- #
+class _HTTPHandler(BaseHTTPRequestHandler):
+    """Maps a tiny URL surface onto the service verbs."""
+
+    protocol_version = "HTTP/1.1"
+    server: "CometHTTPServer"
+
+    # -- plumbing ------------------------------------------------------- #
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # request logging is the operator's concern, not stderr's
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            # Set by the body-error paths: the request body was never
+            # consumed, so a kept-alive connection would parse it as
+            # the next request. Announce the close we are about to do.
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_response(self, response: dict) -> None:
+        self._send_json(200 if response.get("ok") else 400, response)
+
+    def _read_body(self) -> dict | None:
+        """The JSON object body, or None after an error was sent."""
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            length = -1
+        if length < 0:
+            # The body (of unknowable size) stays unread: close the
+            # connection rather than parse it as the next request.
+            self.close_connection = True
+            self._send_json(
+                400,
+                _frame_error("Content-Length must be a non-negative integer"),
+            )
+            return None
+        if length > self.server.max_frame:
+            self.close_connection = True  # oversized body stays unread
+            self._send_json(
+                413, _frame_error(f"frame exceeds {self.server.max_frame} bytes")
+            )
+            return None
+        raw = self.rfile.read(length) if length else b"{}"
+        if len(raw) < length:
+            self.close_connection = True  # stream already desynchronized
+            self._send_json(400, _frame_error("truncated body"))
+            return None
+        try:
+            body = json.loads(raw.decode("utf-8", errors="replace") or "{}")
+        except json.JSONDecodeError as exc:
+            self._send_json(400, _frame_error(f"invalid JSON: {exc}"))
+            return None
+        if not isinstance(body, dict):
+            self._send_json(400, _frame_error("request body must be a JSON object"))
+            return None
+        return body
+
+    def _handle(self, request: dict) -> None:
+        response = self.server.service.handle(
+            request, client=self.client_address[0]
+        )
+        self._send_response(response)
+
+    # -- methods -------------------------------------------------------- #
+    def do_GET(self) -> None:  # noqa: N802 — http.server naming
+        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        if parts and parts[0] == "status" and len(parts) <= 2:
+            request: dict = {"action": "status"}
+            if len(parts) == 2:
+                request["name"] = parts[1]
+            self._handle(request)
+            return
+        self._send_json(
+            404,
+            _frame_error(
+                f"unknown path {self.path!r}; GET serves /status[/<name>]"
+            ),
+        )
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server naming
+        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        body = self._read_body()
+        if body is None:
+            return
+        if parts == ["shutdown"]:
+            self._send_json(200, {"ok": True, "result": {"shutdown": True}})
+            self.server.request_shutdown()
+            return
+        if parts == ["rpc"]:
+            self._handle(body)
+            return
+        if len(parts) == 1 and parts[0] in _HTTP_VERBS:
+            self._handle({"action": parts[0], **body})
+            return
+        self._send_json(
+            404,
+            _frame_error(
+                f"unknown path {self.path!r}; POST serves /rpc, /shutdown, "
+                f"and /{'|/'.join(_HTTP_VERBS)}"
+            ),
+        )
+
+
+class CometHTTPServer(_CometServerMixin, ThreadingHTTPServer):
+    """Minimal HTTP/1.1 adapter exposing the service verbs.
+
+    ``POST /rpc`` takes a full ``{"action": ..., ...}`` request object;
+    ``POST /<verb>`` takes the verb's fields; ``GET /status`` and
+    ``GET /status/<name>`` mirror the status verb. Responses are the
+    JSON envelopes of :meth:`CometService.handle` with HTTP status 200
+    (ok), 400 (handled error), 404 (unknown path), or 413 (oversized).
+    """
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(
+        self,
+        service: CometService,
+        address: tuple[str, int] = ("127.0.0.1", 0),
+        *,
+        max_frame: int = DEFAULT_MAX_FRAME,
+    ) -> None:
+        super().__init__(
+            service,
+            address,
+            _HTTPHandler,
+            max_frame=max_frame,
+            thread_name="comet-http-server",
+        )
+
+
+# ---------------------------------------------------------------------- #
+# programmatic client
+# ---------------------------------------------------------------------- #
+class CometClientError(ServiceError):
+    """A server-side failure, rehydrated client-side.
+
+    Carries the structured error object: :attr:`error_type` and
+    :attr:`code` mirror the server's exception type and machine code,
+    ``details`` the quota/busy specifics.
+    """
+
+    def __init__(self, error: dict) -> None:
+        super().__init__(
+            error.get("message", "service error"), **error.get("details", {})
+        )
+        self.error_type = error.get("type", "Exception")
+        self.code = error.get("code", "service_error")
+
+
+class CometClient:
+    """Speak the line-delimited-JSON TCP protocol programmatically.
+
+    One client wraps one connection; requests on it are serialized
+    (open several clients for concurrency). ``call`` returns the raw
+    response envelope; the verb methods unwrap ``result`` and raise
+    :class:`CometClientError` on ``ok: false``.
+
+    Parameters
+    ----------
+    port, host:
+        Where the :class:`CometTCPServer` listens.
+    timeout:
+        Socket timeout in seconds; ``None`` (default) blocks for as
+        long as a synchronous ``run`` takes. Set a timeout when using
+        ``wait=False`` verbs to keep the client itself responsive.
+    """
+
+    def __init__(
+        self,
+        port: int,
+        host: str = "127.0.0.1",
+        *,
+        timeout: float | None = None,
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._rfile = self._sock.makefile("rb")
+        self._lock = threading.Lock()
+        self._broken = False
+
+    # -- transport ------------------------------------------------------ #
+    def call(self, request: dict) -> dict:
+        """Send one request object, return the raw response envelope."""
+        payload = json.dumps(request).encode("utf-8") + b"\n"
+        with self._lock:
+            if self._broken:
+                raise ConnectionError(
+                    "connection is desynchronized after a timeout or "
+                    "socket error; open a new CometClient"
+                )
+            try:
+                self._sock.sendall(payload)
+                line = self._rfile.readline()
+            except OSError:  # timeouts included (TimeoutError ⊂ OSError)
+                # The response to this request may still arrive later;
+                # a subsequent call would read it as its own. Poison the
+                # connection instead of silently mismatching frames.
+                self._broken = True
+                raise
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line.decode("utf-8"))
+
+    def _result(self, request: dict) -> dict:
+        response = self.call(request)
+        if not response.get("ok"):
+            raise CometClientError(response.get("error") or {})
+        return response["result"]
+
+    # -- verbs ---------------------------------------------------------- #
+    def create(
+        self,
+        name: str,
+        params: dict | None = None,
+        *,
+        checkpoint: str | None = None,
+    ) -> dict:
+        request: dict = {"action": "create", "name": name}
+        if checkpoint is not None:
+            request["checkpoint"] = checkpoint
+        else:
+            request["params"] = params or {}
+        return self._result(request)
+
+    def recommend(self, name: str, k: int = 3) -> list[dict]:
+        return self._result({"action": "recommend", "name": name, "k": k})[
+            "candidates"
+        ]
+
+    def step(self, name: str, *, wait: bool = True) -> dict:
+        return self._result({"action": "step", "name": name, "wait": wait})
+
+    def run(
+        self,
+        name: str,
+        max_iterations: int | None = None,
+        *,
+        wait: bool = True,
+    ) -> dict:
+        request: dict = {"action": "run", "name": name, "wait": wait}
+        if max_iterations is not None:
+            request["max_iterations"] = max_iterations
+        return self._result(request)
+
+    def result(self, name: str, *, wait: bool = True) -> dict:
+        return self._result({"action": "result", "name": name, "wait": wait})
+
+    def status(self, name: str | None = None) -> dict:
+        request: dict = {"action": "status"}
+        if name is not None:
+            request["name"] = name
+        return self._result(request)
+
+    def checkpoint(self, name: str, path: str) -> dict:
+        return self._result(
+            {"action": "checkpoint", "name": name, "path": str(path)}
+        )
+
+    def close_session(self, name: str) -> dict:
+        return self._result({"action": "close", "name": name})
+
+    def shutdown_server(self) -> dict:
+        """Ask the server process to stop serving (stream-level verb)."""
+        return self._result({"action": "shutdown"})
+
+    # -- lifecycle ------------------------------------------------------ #
+    def close(self) -> None:
+        """Close the connection (the server keeps running)."""
+        try:
+            self._rfile.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "CometClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -24,6 +24,7 @@ from repro.session.engine import CleaningSession, SessionObserver
 from repro.session.state import (
     CHECKPOINT_FORMAT,
     CHECKPOINT_VERSION,
+    CheckpointVersionError,
     SessionState,
 )
 
@@ -31,6 +32,7 @@ __all__ = [
     "CleaningSession",
     "SessionObserver",
     "SessionState",
+    "CheckpointVersionError",
     "CHECKPOINT_FORMAT",
     "CHECKPOINT_VERSION",
 ]

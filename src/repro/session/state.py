@@ -43,12 +43,36 @@ from repro.errors.base import ErrorType
 from repro.errors.prepollution import PollutedDataset
 from repro.ml.base import BaseEstimator
 
-__all__ = ["SessionState", "CHECKPOINT_FORMAT", "CHECKPOINT_VERSION"]
+__all__ = [
+    "SessionState",
+    "CheckpointVersionError",
+    "CHECKPOINT_FORMAT",
+    "CHECKPOINT_VERSION",
+]
 
 #: Identifies a file as a repro session checkpoint.
 CHECKPOINT_FORMAT = "repro.session.checkpoint"
 #: Bump when the state layout changes incompatibly.
 CHECKPOINT_VERSION = 1
+
+
+class CheckpointVersionError(ValueError):
+    """A checkpoint's format version does not match this build's.
+
+    Subclasses ``ValueError`` so existing ``except ValueError`` callers
+    keep working, but exposes both versions as attributes so tooling
+    (and future migration code) can branch on them instead of parsing
+    the message.
+    """
+
+    def __init__(self, path, found, supported: int = CHECKPOINT_VERSION) -> None:
+        self.path = str(path)
+        self.found = found
+        self.supported = supported
+        super().__init__(
+            f"{path}: checkpoint version {found!r} is not supported "
+            f"(this build reads version {supported})"
+        )
 
 
 @dataclass
@@ -156,7 +180,9 @@ class SessionState:
         """Read a checkpoint written by :meth:`save`.
 
         Raises ``ValueError`` for files that are not session checkpoints
-        or were written by a newer, unknown format version. **Trusted
+        and :class:`CheckpointVersionError` (a ``ValueError`` subclass
+        naming both versions) for checkpoints written by a different,
+        unknown format version. **Trusted
         input only**: this unpickles the file, so the path must come from
         the operator, never from an untrusted request.
         """
@@ -169,10 +195,7 @@ class SessionState:
             raise ValueError(f"{path}: not a repro session checkpoint")
         version = envelope.get("version")
         if version != CHECKPOINT_VERSION:
-            raise ValueError(
-                f"{path}: checkpoint version {version!r} is not supported "
-                f"(this build reads version {CHECKPOINT_VERSION})"
-            )
+            raise CheckpointVersionError(path, version)
         state = envelope["state"]
         if not isinstance(state, cls):
             raise ValueError(f"{path}: checkpoint does not contain a SessionState")

@@ -70,6 +70,42 @@ class TestSessionCommands:
         assert args.command == "serve"
         assert args.backend == "thread" and args.jobs == 3
 
+    def test_serve_defaults_to_stdio_without_quotas(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port is None and not args.http
+        assert args.workers == 4
+        assert args.max_sessions is None
+        assert args.max_iterations is None
+        assert args.max_seconds is None
+
+    def test_serve_parses_network_and_quota_flags(self):
+        args = build_parser().parse_args([
+            "serve", "--host", "0.0.0.0", "--port", "8765", "--http",
+            "--workers", "8", "--max-sessions", "4",
+            "--max-iterations", "100", "--max-seconds", "30.5",
+        ])
+        assert args.host == "0.0.0.0" and args.port == 8765 and args.http
+        assert args.workers == 8 and args.max_sessions == 4
+        assert args.max_iterations == 100 and args.max_seconds == 30.5
+
+    def test_serve_rejects_non_positive_workers_and_quotas(self):
+        for flags in (
+            ["--workers", "0"],
+            ["--workers", "-2"],
+            ["--max-sessions", "0"],
+            ["--max-iterations", "-1"],
+            ["--max-seconds", "0"],
+        ):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["serve", *flags])
+
+    def test_serve_http_requires_port(self, capsys):
+        from repro.cli import _cmd_serve
+
+        args = build_parser().parse_args(["serve", "--http"])
+        assert _cmd_serve(args) == 2
+        assert "--http requires --port" in capsys.readouterr().err
+
     def test_resume_requires_checkpoint(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["resume"])
@@ -93,6 +129,50 @@ class TestSessionCommands:
         assert _cmd_serve(args, ins, outs) == 0
         response = json.loads(outs.getvalue().splitlines()[0])
         assert response["ok"] and response["result"]["sessions"] == []
+
+    def test_serve_port_end_to_end(self):
+        """`serve --port 0` binds, prints its port, serves TCP, shuts down."""
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        import repro
+        from repro.service import CometClient
+
+        src = str(Path(repro.__file__).resolve().parents[1])
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [src] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0"],
+            stdout=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        try:
+            ready = proc.stdout.readline().strip()
+            assert ready.startswith("serving tcp on 127.0.0.1:"), ready
+            port = int(ready.rsplit(":", 1)[1])
+            with CometClient(port, timeout=30) as client:
+                assert client.status() == {
+                    "sessions": [],
+                    "backend": "serial",
+                    "workers": 1,
+                    "scheduler_workers": 4,
+                    "quotas": {
+                        "max_iterations": None,
+                        "max_seconds": None,
+                        "max_sessions": None,
+                    },
+                }
+                assert client.shutdown_server() == {"shutdown": True}
+            assert proc.wait(timeout=30) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
 
     def test_resume_runs_checkpoint(self, tmp_path, capsys):
         from repro.core import CometConfig

@@ -1,0 +1,43 @@
+"""Tier-1 guard for the repository's test layout.
+
+``pytest -x -q`` at the repo root collects both ``tests/`` and
+``benchmarks/`` with neither being a package, so two modules sharing a
+basename shadow each other in ``sys.modules`` and collection fails with
+a confusing import error. This guard turns that foot-gun into a direct,
+named failure the moment a duplicate basename lands.
+"""
+
+from collections import Counter
+from pathlib import Path
+
+_REPO = Path(__file__).resolve().parents[1]
+
+
+def _module_basenames():
+    names = []
+    for directory in (_REPO / "tests", _REPO / "benchmarks"):
+        names.extend(
+            path.stem for path in sorted(directory.glob("*.py"))
+            if path.stem != "conftest"  # per-directory conftests may repeat
+        )
+    return names
+
+
+def test_python_module_basenames_are_unique_across_suites():
+    duplicates = {
+        name: count
+        for name, count in Counter(_module_basenames()).items()
+        if count > 1
+    }
+    assert not duplicates, (
+        f"duplicate module basenames across tests/ and benchmarks/: "
+        f"{sorted(duplicates)} — rename one copy; rootdir pytest runs "
+        "import both directories into one flat namespace"
+    )
+
+
+def test_guard_sees_both_suites():
+    # The guard is only meaningful while both directories are populated.
+    names = _module_basenames()
+    assert any(name == "test_service" for name in names)
+    assert any(name.startswith("test_fig") for name in names)

@@ -103,6 +103,41 @@ class TestBackendMap:
         assert backend._pool is None
 
 
+class TestBackendSubmit:
+    """``submit`` is the async primitive the session scheduler builds on."""
+
+    def test_serial_submit_resolves_inline(self):
+        backend = SerialBackend()
+        future = backend.submit(_square, 6)
+        assert future.done() and future.result() == 36
+
+    def test_serial_submit_captures_exceptions(self):
+        future = SerialBackend().submit(_square, "nope")
+        assert future.done()
+        with pytest.raises(TypeError):
+            future.result()
+
+    def test_thread_submit_runs_off_thread(self):
+        import threading
+
+        caller = threading.get_ident()
+        with ThreadBackend(2) as backend:
+            future = backend.submit(threading.get_ident)
+            assert future.result(timeout=30) != caller
+
+    def test_degraded_process_submit_resolves_inline(self, monkeypatch):
+        def deny(self):
+            raise PermissionError("fork forbidden")
+
+        monkeypatch.setattr(ProcessBackend, "_make_pool", deny)
+        backend = ProcessBackend(2)
+        with pytest.warns(RuntimeWarning, match="running tasks inline"):
+            future = backend.submit(_square, 5)
+        assert future.result() == 25
+        # Stickily degraded: the next submit stays inline, no new warning.
+        assert backend.submit(_square, 6).result() == 36
+
+
 class TestFitScoreTask:
     @pytest.fixture
     def frames(self):

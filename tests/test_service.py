@@ -139,13 +139,18 @@ class TestJsonHandlers:
             assert response["result"]["sessions"] == ["s"]
             assert response["result"]["backend"] == "thread"
 
-    def test_errors_become_responses(self):
+    def test_errors_become_structured_responses(self):
         with CometService() as service:
-            assert not service.handle({"action": "warp"})["ok"]
-            assert not service.handle({"action": "step", "name": "ghost"})["ok"]
+            unknown = service.handle({"action": "warp"})
+            assert not unknown["ok"]
+            assert unknown["error"]["type"] == "ValueError"
+            assert "unknown action" in unknown["error"]["message"]
+            ghost = service.handle({"action": "step", "name": "ghost"})
+            assert not ghost["ok"] and ghost["error"]["type"] == "KeyError"
             assert not service.handle({"action": "create"})["ok"]
             response = service.handle({"action": "create", "name": "x", "params": {}})
-            assert not response["ok"] and "dataset" in response["error"]
+            assert not response["ok"]
+            assert "dataset" in response["error"]["message"]
 
 
 class TestHardening:
@@ -156,11 +161,11 @@ class TestHardening:
             saved = service.handle(
                 {"action": "checkpoint", "name": "s", "path": path}
             )
-            assert not saved["ok"] and "disabled" in saved["error"]
+            assert not saved["ok"] and "disabled" in saved["error"]["message"]
             loaded = service.handle(
                 {"action": "create", "name": "s2", "checkpoint": path}
             )
-            assert not loaded["ok"] and "disabled" in loaded["error"]
+            assert not loaded["ok"] and "disabled" in loaded["error"]["message"]
 
     def test_shutdown_rejects_new_sessions(self):
         service = CometService()
@@ -188,7 +193,9 @@ class TestServeStream:
         responses = [json.loads(line) for line in out.getvalue().splitlines()]
         assert handled == 4
         assert responses[0]["ok"] and responses[1]["ok"]
-        assert not responses[2]["ok"] and "invalid JSON" in responses[2]["error"]
+        assert not responses[2]["ok"]
+        assert responses[2]["error"]["code"] == "bad_frame"
+        assert "invalid JSON" in responses[2]["error"]["message"]
         assert responses[3]["result"] == {"shutdown": True}
 
 

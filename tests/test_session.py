@@ -18,6 +18,7 @@ from repro.datasets import load_dataset, pollute
 from repro.session import (
     CHECKPOINT_FORMAT,
     CHECKPOINT_VERSION,
+    CheckpointVersionError,
     CleaningSession,
     SessionObserver,
     SessionState,
@@ -187,8 +188,27 @@ class TestCheckpointEnvelope:
                 },
                 fh,
             )
-        with pytest.raises(ValueError, match="version"):
+        # The dedicated error carries both versions (attributes and
+        # message) and stays a ValueError for existing callers.
+        with pytest.raises(CheckpointVersionError) as excinfo:
             SessionState.load(path)
+        error = excinfo.value
+        assert isinstance(error, ValueError)
+        assert error.found == CHECKPOINT_VERSION + 1
+        assert error.supported == CHECKPOINT_VERSION
+        assert str(CHECKPOINT_VERSION + 1) in str(error)
+        assert str(CHECKPOINT_VERSION) in str(error)
+
+    def test_versionless_envelope_rejected(self, polluted, tmp_path):
+        session = _session(polluted)
+        path = tmp_path / "session.ckpt"
+        with open(path, "wb") as fh:
+            pickle.dump(
+                {"format": CHECKPOINT_FORMAT, "state": session.state}, fh
+            )
+        with pytest.raises(CheckpointVersionError) as excinfo:
+            SessionState.load(path)
+        assert excinfo.value.found is None
 
 
 class _Recorder(SessionObserver):
