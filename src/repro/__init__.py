@@ -21,6 +21,7 @@ from repro.core import CleaningTrace, Comet, CometConfig
 from repro.datasets import dataset_summaries, load_dataset, pollute
 from repro.errors import PollutedDataset, Polluter, PrePollution
 from repro.frame import Column, DataFrame
+from repro.kernels import kernel_mode, set_kernel_mode, use_kernels
 from repro.runtime import available_backends, make_backend
 from repro.service import CometClient, CometService, SessionQuotas
 from repro.session import (
@@ -57,5 +58,8 @@ __all__ = [
     "dataset_summaries",
     "make_backend",
     "available_backends",
+    "kernel_mode",
+    "set_kernel_mode",
+    "use_kernels",
     "__version__",
 ]

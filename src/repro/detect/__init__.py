@@ -20,7 +20,12 @@ from repro.detect.detectors import (
     ScalingDetector,
     detector_for,
 )
-from repro.detect.fd import ApproximateFD, discover_fds
+from repro.detect.fd import (
+    ApproximateFD,
+    clear_fd_cache,
+    discover_fds,
+    fd_cache_stats,
+)
 from repro.detect.repair import (
     ConditionalModeRepairer,
     MeanRepairer,
@@ -40,6 +45,8 @@ __all__ = [
     "detector_for",
     "ApproximateFD",
     "discover_fds",
+    "fd_cache_stats",
+    "clear_fd_cache",
     "Repairer",
     "MeanRepairer",
     "MedianRepairer",

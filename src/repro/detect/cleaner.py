@@ -133,17 +133,19 @@ class AlgorithmicCleaner:
         frame = dataset.train if split == "train" else dataset.test
         detection = self._detector(error).detect(frame, feature)
         n_cells = self.cells_per_step(frame.n_rows)
-        detected = detection.rows.tolist()
-        selected: list[int] = []
+        detected = np.asarray(detection.rows, dtype=int)
+        # Priority rows that the detector also flagged come first (in
+        # priority order), then remaining detected rows in suspicion
+        # order, capped at one step's worth — a vectorized rewrite of the
+        # old append-and-membership-test loop with identical selection.
         if priority_rows is not None:
-            flagged = set(detected)
-            selected = [int(r) for r in priority_rows if int(r) in flagged][:n_cells]
-        for row in detected:
-            if len(selected) >= n_cells:
-                break
-            if row not in set(selected):
-                selected.append(int(row))
-        return np.array(sorted(selected), dtype=int)
+            priority = np.asarray(priority_rows, dtype=int)
+            head = priority[np.isin(priority, detected)][:n_cells]
+        else:
+            head = np.array([], dtype=int)
+        tail = detected[~np.isin(detected, head)]
+        selected = np.concatenate([head, tail])[:n_cells]
+        return np.sort(selected).astype(int)
 
     def _repair_split(self, frame, feature: str, error: str, rows: np.ndarray) -> None:
         if rows.size == 0:

@@ -168,8 +168,10 @@ class CategoricalShiftDetector(Detector):
             for fd in fds:
                 if feature not in (fd.lhs, fd.rhs):
                     continue
-                for row in fd.violations(frame):
-                    scores[row] += fd.confidence
+                # Violation rows are unique, so one fancy-indexed add per
+                # FD replaces the per-row Python loop with identical
+                # floating-point operations in identical order.
+                scores[fd.violations(frame)] += fd.confidence
         suspects = np.flatnonzero(scores > 0.0)
         order = np.argsort(-scores[suspects], kind="stable")
         rows = suspects[order]

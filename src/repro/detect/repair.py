@@ -3,6 +3,14 @@
 §4.2 pairs every detection technique with imputation-based correction;
 these repairers implement the imputation side. They never see ground
 truth: repairs are computed from the column's (believed-clean) bulk.
+
+Repairs are mask-based column passes under the vectorized kernels:
+category modes come from ``np.bincount`` over cached integer codes (with
+the ``Counter.most_common`` tie-break reproduced exactly), the
+conditional mode reuses the FD layer's factorized group counting, and
+replacement values are returned as bulk arrays ready for
+``with_values``/``set_values`` writes. The original row-at-a-time code is
+kept behind ``repro.kernels.kernel_mode() == "reference"``.
 """
 
 from __future__ import annotations
@@ -12,7 +20,9 @@ from collections import Counter, defaultdict
 
 import numpy as np
 
+from repro.detect.fd import _pair_stats_from_codes
 from repro.frame import Column, DataFrame
+from repro.kernels import kernel_mode
 
 __all__ = [
     "Repairer",
@@ -28,8 +38,8 @@ class Repairer(abc.ABC):
     """Computes replacement values for flagged cells of one feature."""
 
     @abc.abstractmethod
-    def repair(self, frame: DataFrame, feature: str, rows: np.ndarray) -> list:
-        """Replacement values for ``feature`` at ``rows``."""
+    def repair(self, frame: DataFrame, feature: str, rows: np.ndarray):
+        """Replacement values for ``feature`` at ``rows`` (array or list)."""
 
     def apply(self, frame: DataFrame, feature: str, rows: np.ndarray) -> DataFrame:
         """Return a copy of ``frame`` with the cells repaired.
@@ -49,10 +59,27 @@ def _clean_bulk(column: Column, exclude: np.ndarray) -> np.ndarray:
     return column.values[mask]
 
 
+def _majority_code(bulk_codes: np.ndarray, counts: np.ndarray) -> int:
+    """Most frequent code with the ``Counter.most_common`` tie-break.
+
+    Among codes sharing the maximum count, the one first seen in
+    ``bulk_codes`` order wins — Counter insertion order, reproduced so
+    vectorized repairs match the reference kernel bit for bit.
+    """
+    best = counts.max()
+    candidates = np.flatnonzero(counts == best)
+    if len(candidates) == 1:
+        return int(candidates[0])
+    first_seen = np.full(len(counts), bulk_codes.size, dtype=np.intp)
+    uniques, first = np.unique(bulk_codes, return_index=True)
+    first_seen[uniques] = first
+    return int(candidates[np.argmin(first_seen[candidates])])
+
+
 class MeanRepairer(Repairer):
     """Impute with the mean of the untouched, finite cells."""
 
-    def repair(self, frame: DataFrame, feature: str, rows: np.ndarray) -> list:
+    def repair(self, frame: DataFrame, feature: str, rows: np.ndarray):
         """Replacement values for ``feature`` at ``rows``."""
         column = frame[feature]
         if not column.is_numeric:
@@ -60,13 +87,15 @@ class MeanRepairer(Repairer):
         bulk = _clean_bulk(column, rows)
         bulk = bulk[np.isfinite(bulk)]
         value = float(bulk.mean()) if bulk.size else 0.0
-        return [value] * len(rows)
+        if kernel_mode() == "reference":
+            return [value] * len(rows)
+        return np.full(len(rows), value)
 
 
 class MedianRepairer(Repairer):
     """Impute with the median — robust when many cells are flagged."""
 
-    def repair(self, frame: DataFrame, feature: str, rows: np.ndarray) -> list:
+    def repair(self, frame: DataFrame, feature: str, rows: np.ndarray):
         """Replacement values for ``feature`` at ``rows``."""
         column = frame[feature]
         if not column.is_numeric:
@@ -74,22 +103,34 @@ class MedianRepairer(Repairer):
         bulk = _clean_bulk(column, rows)
         bulk = bulk[np.isfinite(bulk)]
         value = float(np.median(bulk)) if bulk.size else 0.0
-        return [value] * len(rows)
+        if kernel_mode() == "reference":
+            return [value] * len(rows)
+        return np.full(len(rows), value)
 
 
 class ModeRepairer(Repairer):
     """Impute with the most frequent category of the untouched cells."""
 
-    def repair(self, frame: DataFrame, feature: str, rows: np.ndarray) -> list:
+    def repair(self, frame: DataFrame, feature: str, rows: np.ndarray):
         """Replacement values for ``feature`` at ``rows``."""
         column = frame[feature]
         if not column.is_categorical:
             raise ValueError(f"ModeRepairer needs a categorical column, got {feature!r}")
-        bulk = _clean_bulk(column, rows).tolist()
-        if not bulk:
-            return [None] * len(rows)
-        mode = Counter(bulk).most_common(1)[0][0]
-        return [mode] * len(rows)
+        if kernel_mode() == "reference":
+            bulk = _clean_bulk(column, rows).tolist()
+            if not bulk:
+                return [None] * len(rows)
+            mode = Counter(bulk).most_common(1)[0][0]
+            return [mode] * len(rows)
+        codes, cats = column.codes()
+        clean = ~column.missing_mask
+        clean[np.asarray(rows)] = False
+        bulk_codes = codes[clean]
+        if bulk_codes.size == 0:
+            return np.full(len(rows), None, dtype=object)
+        counts = np.bincount(bulk_codes, minlength=len(cats))
+        mode = cats[_majority_code(bulk_codes, counts)]
+        return np.full(len(rows), mode, dtype=object)
 
 
 class ConditionalModeRepairer(Repairer):
@@ -104,7 +145,7 @@ class ConditionalModeRepairer(Repairer):
     def __init__(self, condition_on: str | None = None) -> None:
         self.condition_on = condition_on
 
-    def repair(self, frame: DataFrame, feature: str, rows: np.ndarray) -> list:
+    def repair(self, frame: DataFrame, feature: str, rows: np.ndarray):
         """Replacement values for ``feature`` at ``rows``."""
         column = frame[feature]
         if not column.is_categorical:
@@ -114,6 +155,38 @@ class ConditionalModeRepairer(Repairer):
         condition = self.condition_on or self._pick_condition(frame, feature)
         if condition is None:
             return ModeRepairer().repair(frame, feature, rows)
+        if kernel_mode() == "reference":
+            return self._repair_reference(frame, column, condition, rows)
+        codes_f, cats_f = column.codes()
+        codes_c, cats_c = frame[condition].codes()
+        rows_arr = np.asarray(rows)
+        clean = ~column.missing_mask
+        clean[rows_arr] = False
+        bulk_codes = codes_f[clean]
+        if bulk_codes.size:
+            counts = np.bincount(bulk_codes, minlength=len(cats_f))
+            fallback = cats_f[_majority_code(bulk_codes, counts)]
+        else:
+            fallback = None
+        # Per-condition-group majorities: one factorized pass (shared
+        # with the FD layer) over clean rows whose condition is present.
+        cond_masked = np.where(clean, codes_c, -1)
+        feat_masked = np.where(clean, codes_f, -1)
+        stats = _pair_stats_from_codes(
+            cond_masked, feat_masked, len(cats_c), len(cats_f)
+        )
+        out = np.full(len(rows_arr), fallback, dtype=object)
+        keys = codes_c[rows_arr]
+        keyed = np.flatnonzero(keys >= 0)
+        majority = stats.majority_codes[keys[keyed]]
+        grouped = majority >= 0
+        out[keyed[grouped]] = np.array(cats_f, dtype=object)[majority[grouped]]
+        return out
+
+    @staticmethod
+    def _repair_reference(
+        frame: DataFrame, column: Column, condition: str, rows: np.ndarray
+    ) -> list:
         cond_values = frame[condition].values
         flagged = set(rows.tolist())
         groups: dict = defaultdict(Counter)

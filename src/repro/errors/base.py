@@ -7,6 +7,7 @@ import abc
 import numpy as np
 
 from repro.frame import Column
+from repro.kernels import kernel_mode
 
 __all__ = ["ErrorType", "error_registry", "make_error", "register_error"]
 
@@ -15,8 +16,19 @@ class ErrorType(abc.ABC):
     """A kind of data error that can be injected into a column.
 
     Implementations are stateless value generators: given a column and the
-    rows to corrupt, they return the corrupted values. The Polluter owns row
-    selection and bookkeeping.
+    rows to corrupt, they return the corrupted values as an ``np.ndarray``
+    aligned with ``rows``. The Polluter owns row selection and bookkeeping.
+
+    Every error type provides two implementations of the value kernel —
+    ``_corrupt_vectorized`` (numpy bulk operations, the default) and
+    ``_corrupt_reference`` (the original row-at-a-time code) — selected by
+    :func:`repro.kernels.kernel_mode`. Both consume the rng stream
+    identically, so traces are bit-identical across modes: a vectorized
+    kernel may replace ``k`` scalar draws with one bulk draw only when the
+    draw bound is constant over the ``k`` draws (numpy fills bounded draws
+    sequentially from the bit stream, making the two spellings equivalent);
+    otherwise it must keep the reference draw order and vectorize only the
+    pure part.
     """
 
     #: Short identifier used throughout configs and reports
@@ -27,11 +39,34 @@ class ErrorType(abc.ABC):
     def applies_to(self, column: Column) -> bool:
         """Whether this error type can occur in ``column``."""
 
-    @abc.abstractmethod
     def corrupt(
         self, column: Column, rows: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Corrupted replacement values for ``column`` at ``rows``.
+
+        Returns an array aligned with ``rows`` (``float`` for numeric
+        columns, ``object`` for categorical ones). Dispatches to the
+        vectorized kernel or the row-at-a-time reference implementation
+        according to the active :func:`~repro.kernels.kernel_mode`.
+        """
+        if kernel_mode() == "reference":
+            return np.asarray(
+                self._corrupt_reference(column, rows, rng),
+                dtype=float if column.is_numeric else object,
+            )
+        return self._corrupt_vectorized(column, rows, rng)
+
+    @abc.abstractmethod
+    def _corrupt_vectorized(
+        self, column: Column, rows: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Numpy bulk implementation of the value kernel."""
+
+    @abc.abstractmethod
+    def _corrupt_reference(
+        self, column: Column, rows: np.ndarray, rng: np.random.Generator
     ) -> list:
-        """Return corrupted replacement values for ``column`` at ``rows``."""
+        """Row-at-a-time implementation (the equivalence baseline)."""
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"

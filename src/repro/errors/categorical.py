@@ -25,10 +25,38 @@ class CategoricalShift(ErrorType):
         """Whether this error type can occur in ``column``."""
         return column.is_categorical and len(column.categories()) >= 2
 
-    def corrupt(
+    def _corrupt_vectorized(
+        self, column: Column, rows: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        codes, cats = column.codes()
+        m = len(cats)
+        if m < 2:
+            return column.values[rows].copy()
+        cats_arr = np.array(cats, dtype=object)
+        sel = codes[rows]
+        if (sel >= 0).all():
+            # Every target cell holds a known category, so the reference
+            # kernel's per-row draw bound is the constant ``m - 1`` and
+            # one bulk draw consumes the stream identically. A draw of
+            # ``j`` picks the j-th category of the sorted list with the
+            # cell's own category removed: ``cats[j + (j >= code)]``.
+            draws = rng.integers(m - 1, size=len(rows))
+            return cats_arr[draws + (draws >= sel)]
+        # Missing cells draw from all m categories (None equals none of
+        # them), so the bound varies per row — keep the reference draw
+        # order and vectorize only the category table lookups.
+        out = np.empty(len(rows), dtype=object)
+        for i, code in enumerate(sel.tolist()):
+            if code < 0:
+                out[i] = cats_arr[rng.integers(m)]
+            else:
+                j = int(rng.integers(m - 1))
+                out[i] = cats_arr[j + (j >= code)]
+        return out
+
+    def _corrupt_reference(
         self, column: Column, rows: np.ndarray, rng: np.random.Generator
     ) -> list:
-        """Corrupted replacement values for ``column`` at ``rows``."""
         categories = column.categories()
         if len(categories) < 2:
             return column.values[rows].tolist()

@@ -34,10 +34,37 @@ class InconsistentRepresentation(ErrorType):
         """Whether this error type can occur in ``column``."""
         return column.is_categorical
 
-    def corrupt(
+    def _corrupt_vectorized(
+        self, column: Column, rows: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        codes, cats = column.codes()
+        # Variant lists are deterministic per category — compute them once
+        # per distinct value instead of once per target cell.
+        variants = [np.array(_variants(c), dtype=object) for c in cats]
+        lengths = np.array([len(v) for v in variants], dtype=np.intp)
+        sel = codes[rows]
+        out = np.empty(len(rows), dtype=object)
+        if len(rows) and (sel >= 0).all() and (lengths[sel] == lengths[sel[0]]).all():
+            # Constant draw bound across all targets: one bulk draw
+            # consumes the rng stream identically to per-row draws.
+            draws = rng.integers(lengths[sel[0]], size=len(rows))
+            for code in np.unique(sel).tolist():
+                mask = sel == code
+                out[mask] = variants[code][draws[mask]]
+            return out
+        # Variant counts differ (or some cells are missing and draw
+        # nothing): keep the reference draw order, vectorize the rest.
+        for i, code in enumerate(sel.tolist()):
+            if code < 0:
+                out[i] = None
+            else:
+                options = variants[code]
+                out[i] = options[rng.integers(len(options))]
+        return out
+
+    def _corrupt_reference(
         self, column: Column, rows: np.ndarray, rng: np.random.Generator
     ) -> list:
-        """Corrupted replacement values for ``column`` at ``rows``."""
         replacements = []
         for value in column.values[rows].tolist():
             if value is None:

@@ -26,9 +26,15 @@ class MissingValues(ErrorType):
         """Whether this error type can occur in ``column``."""
         return True
 
-    def corrupt(
+    def _corrupt_vectorized(
+        self, column: Column, rows: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        if column.is_numeric:
+            return np.full(len(rows), np.nan)
+        return np.full(len(rows), None, dtype=object)
+
+    def _corrupt_reference(
         self, column: Column, rows: np.ndarray, rng: np.random.Generator
     ) -> list:
-        """Corrupted replacement values for ``column`` at ``rows``."""
         placeholder = np.nan if column.is_numeric else None
         return [placeholder] * len(rows)

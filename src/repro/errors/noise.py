@@ -33,10 +33,12 @@ class GaussianNoise(ErrorType):
         """Whether this error type can occur in ``column``."""
         return column.is_numeric
 
-    def corrupt(
+    def _corrupt_vectorized(
         self, column: Column, rows: np.ndarray, rng: np.random.Generator
-    ) -> list:
-        """Corrupted replacement values for ``column`` at ``rows``."""
+    ) -> np.ndarray:
+        # Identical rng consumption to the reference kernel (one uniform
+        # sigma draw, one bulk normal draw); the only change is skipping
+        # the final ndarray → list → ndarray round trip.
         present = column.values[~column.missing_mask]
         present = present[np.isfinite(present)]
         spread = float(present.std()) if present.size > 1 else 1.0
@@ -46,6 +48,20 @@ class GaussianNoise(ErrorType):
         base = column.values[rows].copy()
         # Noise lands on whatever is currently in the cell; missing cells
         # get noise around the column mean so the result is a real number.
+        mean = float(present.mean()) if present.size else 0.0
+        base[~np.isfinite(base)] = mean
+        return base + rng.normal(0.0, sigma, size=len(rows))
+
+    def _corrupt_reference(
+        self, column: Column, rows: np.ndarray, rng: np.random.Generator
+    ) -> list:
+        present = column.values[~column.missing_mask]
+        present = present[np.isfinite(present)]
+        spread = float(present.std()) if present.size > 1 else 1.0
+        if spread == 0.0:
+            spread = 1.0
+        sigma = rng.uniform(self.sigma_min, self.sigma_max) * spread
+        base = column.values[rows].copy()
         mean = float(present.mean()) if present.size else 0.0
         base[~np.isfinite(base)] = mean
         return (base + rng.normal(0.0, sigma, size=len(rows))).tolist()

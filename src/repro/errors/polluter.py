@@ -105,17 +105,20 @@ class Polluter:
             rng = np.random.default_rng(self._rng.integers(2**63))
             states = []
             current = frame
-            touched: list[np.ndarray] = []
+            # Accumulate touched rows in a boolean mask: flatnonzero gives
+            # the same sorted-unique rows as re-uniting all step arrays,
+            # at O(n) per step instead of O(total · log total).
+            touched = np.zeros(frame.n_rows, dtype=bool)
             for k in range(1, n_steps + 1):
                 current, rows = self.pollute_once(current, feature, rng=rng)
-                touched.append(rows)
+                touched[rows] = True
                 states.append(
                     PollutedState(
                         frame=current,
                         feature=feature,
                         level=k * self.step,
                         combination=c,
-                        rows=np.unique(np.concatenate(touched)),
+                        rows=np.flatnonzero(touched),
                     )
                 )
             trajectories.append(states)

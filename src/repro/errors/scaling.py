@@ -30,10 +30,10 @@ class Scaling(ErrorType):
         """Whether this error type can occur in ``column``."""
         return column.is_numeric
 
-    def corrupt(
+    def _corrupt_vectorized(
         self, column: Column, rows: np.ndarray, rng: np.random.Generator
-    ) -> list:
-        """Corrupted replacement values for ``column`` at ``rows``."""
+    ) -> np.ndarray:
+        # One scalar factor draw in both kernels — rng streams identical.
         factor = self.factors[rng.integers(len(self.factors))]
         base = column.values[rows].copy()
         present = column.values[~column.missing_mask]
@@ -41,5 +41,16 @@ class Scaling(ErrorType):
         mean = float(present.mean()) if present.size else 1.0
         # A missing cell has no magnitude to scale; fall back to a scaled
         # column mean so the injected value is still anomalous.
+        base[~np.isfinite(base)] = mean
+        return base * factor
+
+    def _corrupt_reference(
+        self, column: Column, rows: np.ndarray, rng: np.random.Generator
+    ) -> list:
+        factor = self.factors[rng.integers(len(self.factors))]
+        base = column.values[rows].copy()
+        present = column.values[~column.missing_mask]
+        present = present[np.isfinite(present)]
+        mean = float(present.mean()) if present.size else 1.0
         base[~np.isfinite(base)] = mean
         return (base * factor).tolist()

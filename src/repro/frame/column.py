@@ -71,6 +71,11 @@ class ColumnKind(enum.Enum):
 class Column:
     """A single dataframe column: values plus a missing mask.
 
+    Categorical columns additionally expose :meth:`codes` — a cached
+    integer encoding of the values used by the vectorized cleaning
+    kernels — invalidated automatically through the ``(token, version)``
+    identity, so it is computed at most once per content state.
+
     Numeric columns store ``float64`` values; missing cells additionally hold
     ``nan`` so that downstream numeric code never reads a stale value.
     Categorical columns store object values (typically strings); missing
@@ -108,6 +113,11 @@ class Column:
         self._version = 0
         self._shared = False
 
+    #: Per-content-state integer-codes cache ``(token, codes, categories)``.
+    #: A class-level default keeps legacy pickles and ``__new__``-built
+    #: instances consistent without touching ``__setstate__``.
+    _codes_cache: tuple | None = None
+
     # ------------------------------------------------------------------ #
     # basic protocol
     # ------------------------------------------------------------------ #
@@ -128,6 +138,13 @@ class Column:
         if self.kind is ColumnKind.NUMERIC:
             return bool(np.allclose(self._values[present], other._values[present]))
         return bool(np.array_equal(self._values[present], other._values[present]))
+
+    def __getstate__(self) -> dict:
+        # The codes cache is derived data — cheap to rebuild, pointless
+        # to ship across process boundaries.
+        state = self.__dict__.copy()
+        state.pop("_codes_cache", None)
+        return state
 
     def __setstate__(self, state: dict) -> None:
         # Pickles carry tokens (safe: salted minting makes them unique
@@ -201,6 +218,45 @@ class Column:
         present = self._values[~self._missing]
         return sorted(set(present.tolist()), key=str)
 
+    def codes(self) -> tuple[np.ndarray, list]:
+        """Integer codes of the values plus the category list.
+
+        Returns ``(codes, categories)`` where ``codes[i]`` indexes
+        ``categories`` (the exact :meth:`categories` ordering) and
+        missing cells carry ``-1``. The result is cached per content
+        state — the cache key is the column's identity token, so any
+        mutation (which mints a fresh token) invalidates it for free,
+        and copy-on-write shares inherit the cache along with the
+        storage. The returned arrays are owned by the cache: read them,
+        do not mutate them.
+        """
+        cached = self._codes_cache
+        if cached is not None and cached[0] == self._token:
+            return cached[1], cached[2]
+        present = ~self._missing
+        values = self._values[present]
+        cats = self.categories()
+        codes = np.full(len(self._values), -1, dtype=np.intp)
+        if cats:
+            inverse = None
+            try:
+                uniques, inverse = np.unique(values, return_inverse=True)
+                # np.unique sorts naturally; categories() sorts by str.
+                # They coincide for homogeneous string data (the normal
+                # case) — verify cheaply and fall back when they differ.
+                if len(uniques) != len(cats) or not all(
+                    u is c or u == c for u, c in zip(uniques.tolist(), cats)
+                ):
+                    inverse = None
+            except TypeError:  # un-orderable mixed types
+                inverse = None
+            if inverse is None:
+                mapping = {c: i for i, c in enumerate(cats)}
+                inverse = np.array([mapping[v] for v in values.tolist()], dtype=np.intp)
+            codes[present] = inverse
+        self._codes_cache = (self._token, codes, cats)
+        return codes, cats
+
     def take(self, indices: Sequence[int] | np.ndarray) -> "Column":
         """Return a new column containing the given rows, in order."""
         idx = np.asarray(indices)
@@ -231,6 +287,7 @@ class Column:
         out._token = self._token
         out._version = self._version
         out._shared = True
+        out._codes_cache = self._codes_cache
         self._shared = True
         return out
 
@@ -260,6 +317,7 @@ class Column:
         """Mutation happened: mint a fresh token, advance the version."""
         self._token = _mint_token()
         self._version += 1
+        self._codes_cache = None
 
     def set_values(self, indices: Sequence[int] | np.ndarray, values: Iterable) -> None:
         """Overwrite cells at ``indices`` with ``values``.
@@ -285,13 +343,16 @@ class Column:
                 self._values[idx] = arr
                 self._missing[idx] = np.isnan(arr)
             else:
-                for i, v in zip(idx, vals):
-                    if _is_missing_value(v):
-                        self._values[i] = None
-                        self._missing[i] = True
-                    else:
-                        self._values[i] = v
-                        self._missing[i] = False
+                # Bulk masked scatter: normalize to an object array, find
+                # the missing entries vectorized, and write values and
+                # mask with one fancy assignment each (replacements are
+                # prepared first so duplicate indices resolve last-wins
+                # for the values *and* the mask consistently).
+                arr = np.array(vals, dtype=object, copy=True)
+                miss = _missing_object_mask(arr)
+                arr[miss] = None
+                self._values[idx] = arr
+                self._missing[idx] = miss
         finally:
             self._bump()
 
@@ -323,6 +384,33 @@ class Column:
         out.set_missing(indices)
         return out
 
+    def set_scatter(self, mask: np.ndarray, values) -> None:
+        """Overwrite the cells selected by a full-length boolean ``mask``.
+
+        ``values`` is either a scalar (broadcast to every selected cell)
+        or an array aligned with the selected cells in row order. The
+        bulk write shares :meth:`set_values`' missing-value semantics.
+        """
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (len(self._values),):
+            raise ValueError(
+                f"mask must have shape ({len(self._values)},), got {mask.shape}"
+            )
+        indices = np.flatnonzero(mask)
+        if np.ndim(values) == 0:
+            values = np.full(
+                len(indices),
+                values,
+                dtype=float if self.kind is ColumnKind.NUMERIC else object,
+            )
+        self.set_values(indices, values)
+
+    def with_scatter(self, mask: np.ndarray, values) -> "Column":
+        """A new column with the ``mask``-selected cells overwritten."""
+        out = self.share()
+        out.set_scatter(mask, values)
+        return out
+
 
 def _infer_kind(values: np.ndarray) -> ColumnKind:
     if values.dtype.kind in "fiub":
@@ -336,3 +424,14 @@ def _is_missing_value(value) -> bool:
     if isinstance(value, float) and np.isnan(value):
         return True
     return False
+
+
+def _missing_object_mask(values: np.ndarray) -> np.ndarray:
+    """Vectorized ``_is_missing_value`` over an object array.
+
+    ``v == None`` catches ``None`` and ``v != v`` catches any float nan
+    (the only self-unequal value that can appear in a column); both are
+    single elementwise passes instead of a Python-level loop.
+    """
+    with np.errstate(invalid="ignore"):
+        return (values == None) | (values != values)  # noqa: E711

@@ -1,0 +1,63 @@
+"""Kernel-mode switch for the pollute → detect → repair hot path.
+
+The cleaning kernels — the §3.4 error injectors, the §4.2 detectors and
+repairers, and the approximate-FD miner behind them — exist in two
+implementations:
+
+* ``"vectorized"`` (the default): numpy bulk operations over ``Column``
+  storage. Rng-driven kernels consume the generator stream with bulk
+  draws only where the stream is provably identical to the scalar-draw
+  sequence (one ``rng.integers(bound, size=k)`` replaces ``k`` scalar
+  draws *iff* the bound is constant across the k draws — numpy's bounded
+  integers fill outputs sequentially from the bit stream, so the two
+  spellings consume identically). Where the bound varies per row, draw
+  order is kept and only the pure part is vectorized.
+* ``"reference"``: the original row-at-a-time implementations, kept so
+  equivalence is testable — ``tests/test_kernels_equivalence.py`` proves
+  both modes produce bit-identical frames, detections, repairs, and
+  session traces.
+
+The switch is process-global (kernels are stateless; the mode only picks
+an implementation, never changes results) and can be preset with the
+``REPRO_KERNELS`` environment variable.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+
+__all__ = ["kernel_mode", "set_kernel_mode", "use_kernels", "KERNEL_MODES"]
+
+KERNEL_MODES = ("vectorized", "reference")
+
+_MODE = os.environ.get("REPRO_KERNELS", "vectorized")
+if _MODE not in KERNEL_MODES:
+    raise ValueError(
+        f"REPRO_KERNELS must be one of {KERNEL_MODES}, got {_MODE!r}"
+    )
+
+
+def kernel_mode() -> str:
+    """The active kernel implementation: ``"vectorized"`` or ``"reference"``."""
+    return _MODE
+
+
+def set_kernel_mode(mode: str) -> str:
+    """Select the kernel implementation; returns the previous mode."""
+    global _MODE
+    if mode not in KERNEL_MODES:
+        raise ValueError(f"kernel mode must be one of {KERNEL_MODES}, got {mode!r}")
+    previous = _MODE
+    _MODE = mode
+    return previous
+
+
+@contextlib.contextmanager
+def use_kernels(mode: str):
+    """Context manager pinning the kernel mode within a block."""
+    previous = set_kernel_mode(mode)
+    try:
+        yield
+    finally:
+        set_kernel_mode(previous)

@@ -1,0 +1,384 @@
+"""Vectorized vs reference kernels: bit-identical everything.
+
+The vectorized kernel layer (``repro.kernels``) rewrites the
+pollute → detect → repair hot path as numpy bulk operations, but the
+contract is stronger than "same answers": every corrupt call must also
+*consume the rng stream identically* to the row-at-a-time reference
+kernels, so seeded traces — including the committed golden benchmark
+traces — stay byte-stable regardless of the mode. This suite pins that
+contract for:
+
+* all five error-type injectors (values AND post-call generator state);
+* all detectors and repairers;
+* FD discovery, confidence, and violation listing (plus the token-keyed
+  pair-stats cache);
+* full COMET sessions with the :class:`AlgorithmicCleaner` on a CleanML
+  dataset and a synthetic polluted dataset, including a
+  checkpoint/resume round-trip.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CometConfig
+from repro.datasets import load_cleanml, load_dataset, pollute
+from repro.detect import (
+    AlgorithmicCleaner,
+    CategoricalShiftDetector,
+    ConditionalModeRepairer,
+    MeanRepairer,
+    MedianRepairer,
+    MissingValueDetector,
+    ModeRepairer,
+    NoiseDetector,
+    ScalingDetector,
+    clear_fd_cache,
+    discover_fds,
+    fd_cache_stats,
+)
+from repro.errors import (
+    CategoricalShift,
+    GaussianNoise,
+    InconsistentRepresentation,
+    MissingValues,
+    Polluter,
+    Scaling,
+)
+from repro.frame import Column, DataFrame
+from repro.kernels import kernel_mode, set_kernel_mode, use_kernels
+from repro.session import CleaningSession
+
+
+def both_modes(fn):
+    """Run ``fn()`` under each kernel mode; return (reference, vectorized).
+
+    The FD pair-stats cache is cleared before each run so neither mode
+    can lean on state the other produced.
+    """
+    out = {}
+    for mode in ("reference", "vectorized"):
+        clear_fd_cache()
+        with use_kernels(mode):
+            out[mode] = fn()
+    clear_fd_cache()
+    return out["reference"], out["vectorized"]
+
+
+def assert_values_equal(a, b):
+    a = np.asarray(a, dtype=object)
+    b = np.asarray(b, dtype=object)
+    assert len(a) == len(b)
+    for x, y in zip(a.tolist(), b.tolist()):
+        if isinstance(x, float) and isinstance(y, float):
+            assert (np.isnan(x) and np.isnan(y)) or x == y
+        else:
+            assert type(x) is type(y) and (x is y or x == y)
+
+
+# --------------------------------------------------------------------- #
+# Injector equivalence: values and rng-stream consumption.
+# --------------------------------------------------------------------- #
+
+def _numeric_column(n=400, seed=1, with_nan=False):
+    rng = np.random.default_rng(seed)
+    values = rng.normal(50.0, 5.0, n)
+    if with_nan:
+        values[rng.choice(n, n // 10, replace=False)] = np.nan
+    return Column("num", values)
+
+
+def _categorical_column(n=400, seed=2, with_none=False):
+    rng = np.random.default_rng(seed)
+    values = rng.choice(["alpha", "beta", "gamma", "delta"], n).astype(object)
+    if with_none:
+        values[rng.choice(n, n // 10, replace=False)] = None
+    return Column("cat", values)
+
+
+ERROR_CASES = [
+    pytest.param(MissingValues(), _numeric_column, id="missing-num"),
+    pytest.param(MissingValues(), _categorical_column, id="missing-cat"),
+    pytest.param(GaussianNoise(), _numeric_column, id="noise"),
+    pytest.param(Scaling(), _numeric_column, id="scaling"),
+    pytest.param(CategoricalShift(), _categorical_column, id="categorical"),
+    pytest.param(InconsistentRepresentation(), _categorical_column, id="inconsistent"),
+    pytest.param(
+        GaussianNoise(),
+        lambda: _numeric_column(with_nan=True),
+        id="noise-with-nan",
+    ),
+    pytest.param(
+        CategoricalShift(),
+        lambda: _categorical_column(with_none=True),
+        id="categorical-with-none",
+    ),
+    pytest.param(
+        InconsistentRepresentation(),
+        lambda: _categorical_column(with_none=True),
+        id="inconsistent-with-none",
+    ),
+]
+
+
+class TestCorruptEquivalence:
+    @pytest.mark.parametrize("error,make_column", ERROR_CASES)
+    def test_values_and_rng_stream(self, error, make_column):
+        column = make_column()
+        rows = np.sort(np.random.default_rng(9).choice(len(column), 60, replace=False))
+
+        def run():
+            rng = np.random.default_rng(1234)
+            values = error.corrupt(column, rows, rng)
+            return values, rng.bit_generator.state
+
+        (ref_values, ref_state), (vec_values, vec_state) = both_modes(run)
+        assert isinstance(vec_values, np.ndarray)
+        assert_values_equal(ref_values, vec_values)
+        # The load-bearing half of the contract: identical generator
+        # state afterwards means every downstream seeded draw matches.
+        assert ref_state == vec_state
+
+    @pytest.mark.parametrize("error,make_column", ERROR_CASES)
+    def test_empty_rows(self, error, make_column):
+        column = make_column()
+        rows = np.array([], dtype=int)
+
+        def run():
+            rng = np.random.default_rng(7)
+            return error.corrupt(column, rows, rng), rng.bit_generator.state
+
+        (ref_values, ref_state), (vec_values, vec_state) = both_modes(run)
+        assert len(ref_values) == len(vec_values) == 0
+        assert ref_state == vec_state
+
+    def test_corrupt_returns_ndarray_in_both_modes(self):
+        column = _numeric_column()
+        rows = np.array([0, 1, 2])
+        for mode in ("reference", "vectorized"):
+            with use_kernels(mode):
+                out = GaussianNoise().corrupt(column, rows, np.random.default_rng(0))
+            assert isinstance(out, np.ndarray)
+
+
+class TestPolluterEquivalence:
+    @pytest.mark.parametrize(
+        "error,feature",
+        [
+            pytest.param(MissingValues(), "num", id="missing"),
+            pytest.param(GaussianNoise(), "num", id="noise"),
+            pytest.param(CategoricalShift(), "cat", id="categorical"),
+        ],
+    )
+    def test_incremental_states_identical(self, error, feature):
+        frame = DataFrame(
+            {"num": _numeric_column(300).values, "cat": _categorical_column(300).values}
+        )
+
+        def run():
+            polluter = Polluter(error, step=0.05, n_combinations=2, rng=11)
+            trajectories = polluter.incremental_states(frame, feature, n_steps=4)
+            return [
+                (s.level, s.rows.tolist(), s.frame.to_dict())
+                for states in trajectories
+                for s in states
+            ]
+
+        ref, vec = both_modes(run)
+        assert len(ref) == len(vec) == 8
+        for (rl, rr, rf), (vl, vv, vf) in zip(ref, vec):
+            assert rl == vl
+            assert rr == vv
+            assert rf.keys() == vf.keys()
+            for name in rf:
+                assert_values_equal(rf[name], vf[name])
+
+
+# --------------------------------------------------------------------- #
+# Detector / repairer / FD equivalence.
+# --------------------------------------------------------------------- #
+
+@pytest.fixture(scope="module")
+def detect_frame():
+    rng = np.random.default_rng(3)
+    n = 600
+    group = rng.choice(["g1", "g2", "g3", "g4"], n).astype(object)
+    dep = np.array(["d_" + g for g in group], dtype=object)
+    dep[rng.choice(n, 30, replace=False)] = rng.choice(["d_g1", "d_g2"], 30)
+    dep[rng.choice(n, 15, replace=False)] = None
+    num = rng.normal(40.0, 4.0, n)
+    num[rng.choice(n, 20, replace=False)] *= 100.0  # scaling-style outliers
+    num[rng.choice(n, 10, replace=False)] = np.nan
+    return DataFrame({"dep": dep, "group": group, "num": num})
+
+
+DETECTOR_CASES = [
+    pytest.param(MissingValueDetector(), "num", id="missing"),
+    pytest.param(ScalingDetector(), "num", id="scaling"),
+    pytest.param(NoiseDetector(), "num", id="noise"),
+    pytest.param(CategoricalShiftDetector(min_confidence=0.5), "dep", id="categorical"),
+]
+
+
+class TestDetectorEquivalence:
+    @pytest.mark.parametrize("detector,feature", DETECTOR_CASES)
+    def test_rows_and_scores(self, detect_frame, detector, feature):
+        ref, vec = both_modes(lambda: detector.detect(detect_frame, feature))
+        assert ref.rows.tolist() == vec.rows.tolist()
+        assert ref.scores.tolist() == vec.scores.tolist()
+
+
+REPAIRER_CASES = [
+    pytest.param(MeanRepairer(), "num", id="mean"),
+    pytest.param(MedianRepairer(), "num", id="median"),
+    pytest.param(ModeRepairer(), "dep", id="mode"),
+    pytest.param(ConditionalModeRepairer(condition_on="group"), "dep", id="cond-mode"),
+    pytest.param(ConditionalModeRepairer(), "dep", id="cond-mode-auto"),
+]
+
+
+class TestRepairerEquivalence:
+    @pytest.mark.parametrize("repairer,feature", REPAIRER_CASES)
+    def test_repairs(self, detect_frame, repairer, feature):
+        rows = np.sort(np.random.default_rng(5).choice(600, 40, replace=False))
+        ref, vec = both_modes(
+            lambda: list(repairer.repair(detect_frame, feature, rows))
+        )
+        assert_values_equal(ref, vec)
+
+    @pytest.mark.parametrize("repairer,feature", REPAIRER_CASES)
+    def test_applied_frames_identical(self, detect_frame, repairer, feature):
+        rows = np.sort(np.random.default_rng(6).choice(600, 25, replace=False))
+        ref, vec = both_modes(
+            lambda: repairer.apply(detect_frame, feature, rows)
+        )
+        assert ref == vec
+
+
+class TestFDEquivalence:
+    def test_discovery_confidence_and_violations(self, detect_frame):
+        def run():
+            fds = discover_fds(detect_frame, min_confidence=0.4, min_group_size=2)
+            return [
+                (fd.lhs, fd.rhs, fd.confidence, fd.violations(detect_frame).tolist())
+                for fd in fds
+            ]
+
+        ref, vec = both_modes(run)
+        assert ref == vec
+        assert ref  # the fixture is built to contain discoverable FDs
+
+    def test_pair_stats_cache_hits_on_unchanged_columns(self, detect_frame):
+        clear_fd_cache()
+        fd_cache_stats(reset=True)
+        discover_fds(detect_frame, min_confidence=0.4)
+        first = fd_cache_stats()
+        assert first["misses"] > 0
+        discover_fds(detect_frame, min_confidence=0.4)
+        second = fd_cache_stats()
+        # Same column tokens → every pair is served from the cache.
+        assert second["misses"] == first["misses"]
+        assert second["hits"] > first["hits"]
+        clear_fd_cache()
+
+    def test_cache_misses_after_column_mutation(self, detect_frame):
+        frame = detect_frame.copy()
+        clear_fd_cache()
+        fd_cache_stats(reset=True)
+        discover_fds(frame, min_confidence=0.4)
+        misses = fd_cache_stats()["misses"]
+        frame["dep"].set_values(np.array([0]), np.array(["d_g2"], dtype=object))
+        discover_fds(frame, min_confidence=0.4)
+        # Mutation minted a fresh token; pairs touching "dep" recompute.
+        assert fd_cache_stats()["misses"] > misses
+        clear_fd_cache()
+
+
+# --------------------------------------------------------------------- #
+# Full-session traces: CleanML + synthetic, with checkpoint/resume.
+# --------------------------------------------------------------------- #
+
+def _run_session(polluted, error_types, tmp_path=None):
+    session = CleaningSession.create(
+        polluted,
+        algorithm="lor",
+        error_types=error_types,
+        budget=4.0,
+        config=CometConfig(step=0.05),
+        rng=0,
+        cleaner=AlgorithmicCleaner(step=0.05, rng=0),
+    )
+    if tmp_path is None:
+        return session.run()
+    # Checkpoint mid-run, reload, and finish from disk.
+    session.step()
+    path = tmp_path / "session.ckpt"
+    session.save(path)
+    session.close()
+    resumed = CleaningSession.load(path)
+    trace = resumed.run()
+    resumed.close()
+    return trace
+
+
+class TestSessionTraceEquivalence:
+    def test_synthetic_dataset_trace(self):
+        def run():
+            dataset = load_dataset("cmc", n_rows=200, rng=0)
+            polluted = pollute(dataset, error_types=["missing"], rng=6)
+            return _run_session(polluted, ["missing"])
+
+        ref, vec = both_modes(run)
+        assert ref == vec
+        assert ref.records
+
+    def test_cleanml_dataset_trace(self):
+        def run():
+            polluted = load_cleanml("titanic", n_rows=160, rng=0)
+            return _run_session(polluted, ["missing"])
+
+        ref, vec = both_modes(run)
+        assert ref == vec
+
+    def test_checkpoint_resume_round_trip(self, tmp_path):
+        def uninterrupted():
+            dataset = load_dataset("cmc", n_rows=200, rng=0)
+            polluted = pollute(dataset, error_types=["missing"], rng=6)
+            return _run_session(polluted, ["missing"])
+
+        def resumed(mode_dir):
+            dataset = load_dataset("cmc", n_rows=200, rng=0)
+            polluted = pollute(dataset, error_types=["missing"], rng=6)
+            return _run_session(polluted, ["missing"], tmp_path=mode_dir)
+
+        ref_full, vec_full = both_modes(uninterrupted)
+        for mode, full in (("reference", ref_full), ("vectorized", vec_full)):
+            clear_fd_cache()
+            mode_dir = tmp_path / mode
+            mode_dir.mkdir()
+            with use_kernels(mode):
+                assert resumed(mode_dir) == full
+        # All four traces — both modes, interrupted or not — agree.
+        assert ref_full == vec_full
+
+
+class TestKernelSwitch:
+    def test_vectorized_is_default(self):
+        assert kernel_mode() == "vectorized"
+
+    def test_set_and_restore(self):
+        previous = set_kernel_mode("reference")
+        try:
+            assert kernel_mode() == "reference"
+        finally:
+            set_kernel_mode(previous)
+        assert kernel_mode() == "vectorized"
+
+    def test_use_kernels_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with use_kernels("reference"):
+                raise RuntimeError("boom")
+        assert kernel_mode() == "vectorized"
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            set_kernel_mode("simd")
