@@ -9,6 +9,8 @@ Examples::
     python -m repro serve --backend thread --jobs 4 < requests.jsonl
     python -m repro serve --port 8765 --workers 4 --max-sessions 8
     python -m repro serve --port 8766 --http
+    python -m repro worker --connect 127.0.0.1:9000
+    python -m repro worker --listen 0.0.0.0:9001
     python -m repro resume --checkpoint session.ckpt
 """
 
@@ -113,6 +115,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="quota: accumulated engine wall-clock seconds per session",
     )
     _backend_args(srv)
+
+    wrk = sub.add_parser(
+        "worker",
+        help="run one distributed-sweep worker process "
+             "(pairs with --backend distributed; trusted networks only — "
+             "the task protocol exchanges pickles)",
+    )
+    topology = wrk.add_mutually_exclusive_group(required=True)
+    topology.add_argument(
+        "--connect", metavar="HOST:PORT",
+        help="dial a coordinator (a DistributedBackend listener) and "
+             "serve its tasks until it disconnects",
+    )
+    topology.add_argument(
+        "--listen", metavar="HOST:PORT",
+        help="own this address instead and serve coordinators that dial "
+             "in (port 0 picks an ephemeral port, printed at startup)",
+    )
+    wrk.add_argument(
+        "--id", dest="worker_id", default=None,
+        help="worker name shown in coordinator stats (default: host-pid)",
+    )
+    wrk.add_argument(
+        "--retries", type=_positive_int, default=60,
+        help="--connect: bounded connect retries for the startup race "
+             "where workers launch before the coordinator listens",
+    )
+    wrk.add_argument(
+        "--backoff", type=_positive_float, default=0.25,
+        help="--connect: base seconds between connect retries",
+    )
+    wrk.add_argument(
+        "--once", action="store_true",
+        help="--listen: serve exactly one coordinator, then exit",
+    )
 
     res = sub.add_parser(
         "resume", help="resume a checkpointed cleaning session and run it out"
@@ -278,6 +315,44 @@ def _cmd_serve(args: argparse.Namespace, in_stream=None, out_stream=None) -> int
     return 0
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    """Run one distributed-sweep worker until its coordinator lets go."""
+    import os
+    import socket as _socket
+
+    from repro.runtime import listen_worker, run_worker
+
+    worker_id = args.worker_id or f"{_socket.gethostname()}-{os.getpid()}"
+    try:
+        if args.connect:
+            print(f"worker {worker_id} connecting to {args.connect}", flush=True)
+            served = run_worker(
+                connect=args.connect,
+                worker_id=worker_id,
+                retries=args.retries,
+                backoff=args.backoff,
+            )
+        else:
+            served = listen_worker(
+                listen=args.listen,
+                worker_id=worker_id,
+                once=args.once,
+                # Parseable readiness line: scripts read the bound
+                # (possibly ephemeral) port before pointing a
+                # coordinator's connect=[...] at it.
+                ready=lambda address: print(
+                    f"worker listening on {address[0]}:{address[1]}", flush=True
+                ),
+            )
+    except KeyboardInterrupt:
+        return 0
+    except ConnectionError as exc:
+        print(f"worker: {exc}", file=sys.stderr)
+        return 1
+    print(f"worker {worker_id} served {served} task(s)", flush=True)
+    return 0
+
+
 def _cmd_resume(args: argparse.Namespace) -> int:
     """Load a checkpoint, run it to completion, report the trace."""
     with CleaningSession.load(
@@ -322,6 +397,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_recommend(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "worker":
+        return _cmd_worker(args)
     if args.command == "resume":
         return _cmd_resume(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -14,20 +14,24 @@ Backends are selected by name through the registry::
 
     from repro.runtime import make_backend
 
-    backend = make_backend("thread", jobs=4)   # or "serial" / "process"
-    with backend:
+    backend = make_backend("thread", jobs=4)   # "serial" / "process" /
+    with backend:                              # "distributed"
         scores = backend.map(fn, tasks)
 
 ``make_backend`` auto-falls back to :class:`SerialBackend` whenever
 ``jobs <= 1`` — asking for one worker *is* serial execution, so callers
-never pay pool overhead for it.  Passing an already-constructed backend
+never pay pool overhead for it.  The ``"distributed"`` backend
+(:mod:`repro.runtime.distributed` — remote worker processes over
+line-delimited JSON) is exempt: its single worker still runs in another
+process, possibly on another machine.  Passing an already-constructed backend
 instance returns it unchanged, which lets tests and power users inject
 custom backends.  ``Comet(..., backend="thread", jobs=4)`` and the CLI's
 ``--backend/--jobs`` flags route through the same registry.
 
 Determinism guarantees
 ----------------------
-Serial, thread, and process runs of the same session are **bit-identical**:
+Serial, thread, process, and distributed runs of the same session are
+**bit-identical**:
 
 1. *All randomness is consumed while building tasks, never while running
    them.*  The Estimator draws per-candidate RNG streams (via
@@ -52,6 +56,14 @@ from repro.runtime.backends import (
     SerialBackend,
     ThreadBackend,
 )
+from repro.runtime.distributed import (
+    DistributedBackend,
+    RemoteTaskError,
+    WorkerLostError,
+    listen_worker,
+    run_worker,
+    worker_serve,
+)
 from repro.runtime.registry import (
     available_backends,
     make_backend,
@@ -64,6 +76,12 @@ __all__ = [
     "SerialBackend",
     "ThreadBackend",
     "ProcessBackend",
+    "DistributedBackend",
+    "RemoteTaskError",
+    "WorkerLostError",
+    "worker_serve",
+    "run_worker",
+    "listen_worker",
     "available_backends",
     "make_backend",
     "register_backend",

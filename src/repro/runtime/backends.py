@@ -8,6 +8,13 @@ half of the determinism guarantee (see the package docstring).
 Pools are created lazily on first ``map`` so a backend constructed but
 never used costs nothing; entering the context starts the pool eagerly
 and leaving it shuts the pool down.
+
+The in-process pools here are one end of a spectrum; the
+:class:`~repro.runtime.distributed.DistributedBackend` implements the
+same two primitives (ordered ``map`` plus a ``submit`` future) over
+remote worker processes, so callers — the estimator's flat E1 dispatch,
+the service scheduler — never distinguish local from distributed
+execution.
 """
 
 from __future__ import annotations

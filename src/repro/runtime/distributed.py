@@ -1,0 +1,864 @@
+"""Distributed execution backend: fit-score sweeps on remote workers.
+
+The coordinator (:class:`DistributedBackend`) ships pickled tasks to
+worker *processes* — on this machine or across the network — over the
+same line-delimited-JSON framing the COMET service speaks
+(:mod:`repro.runtime.wire`).  On a multi-core host two local workers
+give the E1 sweep the true CPU parallelism the in-process pools cannot
+(one Python process is one GIL); across hosts it is the only road past
+the machine boundary.
+
+Topology
+--------
+The coordinator always listens on a TCP port; workers dial in and
+register (``repro worker --connect host:port``).  For inverted networks
+the worker can listen instead (``repro worker --listen host:port``) and
+the coordinator dials out to the addresses in its ``connect=[...]``
+option (or the ``REPRO_DISTRIBUTED_CONNECT`` environment variable).
+When neither is configured the backend *spawns* ``jobs`` local worker
+subprocesses pointed at its own listener, so
+``Comet(backend="distributed", jobs=2)`` works with zero setup.
+
+Protocol (one JSON object per line; pickles ride base64 inside)::
+
+    worker → hello     {"op": "hello", "worker": id, "pid", "protocol"}
+    coord  → welcome   {"op": "welcome", "heartbeat": seconds}
+    coord  → task      {"op": "task", "id": n, "payload": b64(pickle)}
+    worker → result    {"op": "result", "id": n, "ok": true, "payload"}
+                       {"op": "result", "id": n, "ok": false, "error",
+                        "traceback"}
+    worker → heartbeat {"op": "heartbeat"}        (idle or busy — a
+                       dedicated thread beats while a task runs)
+    coord  → shutdown  {"op": "shutdown"}
+
+Pickles are code execution on both ends: run the protocol only inside a
+trusted cluster (loopback, a private network, an SSH tunnel).
+
+Fault tolerance
+---------------
+Workers send periodic heartbeats; the coordinator evicts a worker whose
+connection drops, whose heartbeats stop (``heartbeat_timeout``), or
+whose task exceeds ``task_timeout`` — and **requeues** the task the
+evicted worker held, at the front of the queue.  A task that raised on a
+worker is *not* requeued (tasks are pure, so it would raise everywhere);
+the error surfaces as :class:`RemoteTaskError` carrying the remote
+traceback.  If no worker is available for ``register_timeout`` seconds
+the coordinator runs queued tasks inline (with a warning) so a sweep
+never stalls.
+
+Determinism
+-----------
+The bit-identical-trace contract of :mod:`repro.runtime` is preserved
+unchanged: every random draw happened while *building* tasks, each task
+is a pure function of its pickled payload, and results are reassembled
+by submission position.  Worker placement, eviction, and requeueing can
+therefore never alter a trace — only its wall-clock.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import socket
+import subprocess
+import sys
+import threading
+import time
+import traceback
+import warnings
+from collections import deque
+from concurrent.futures import Future
+from typing import Callable, Iterable, Sequence
+
+from repro.runtime.backends import ExecutionBackend
+from repro.runtime.wire import (
+    DEFAULT_MAX_TASK_FRAME,
+    FrameError,
+    JSONLineConnection,
+    format_address,
+    parse_address,
+    pickle_to_text,
+    text_to_pickle,
+)
+
+__all__ = [
+    "DistributedBackend",
+    "RemoteTaskError",
+    "WorkerLostError",
+    "worker_serve",
+    "run_worker",
+    "PROTOCOL_VERSION",
+]
+
+#: Version tag exchanged in the hello/welcome handshake.
+PROTOCOL_VERSION = 1
+
+#: Environment variable naming worker listeners the coordinator dials
+#: (comma-separated ``host:port`` entries).
+CONNECT_ENV = "REPRO_DISTRIBUTED_CONNECT"
+
+
+class RemoteTaskError(RuntimeError):
+    """A task raised on a worker; carries the remote type and traceback."""
+
+    def __init__(self, error: dict, remote_traceback: str = "") -> None:
+        message = f"{error.get('type', 'Exception')}: {error.get('message', '')}"
+        if remote_traceback:
+            message += "\n--- remote traceback ---\n" + remote_traceback
+        super().__init__(message)
+        self.error_type = error.get("type", "Exception")
+        self.remote_traceback = remote_traceback
+
+
+class WorkerLostError(RuntimeError):
+    """A task's workers kept dying until its retry budget ran out."""
+
+
+# ---------------------------------------------------------------------- #
+# coordinator-side bookkeeping
+# ---------------------------------------------------------------------- #
+class _Task:
+    """One queued unit of work: the call, its wire payload, its future."""
+
+    __slots__ = ("id", "call", "payload", "future", "attempts", "started_at")
+
+    def __init__(self, task_id: int, call: tuple, payload: str) -> None:
+        self.id = task_id
+        self.call = call  # (fn, args) — kept for the inline fallback
+        self.payload = payload
+        self.future: Future = Future()
+        self.attempts = 0
+        self.started_at = 0.0
+
+
+class _Worker:
+    """One registered remote worker (its connection and liveness)."""
+
+    __slots__ = ("id", "conn", "pid", "last_seen", "current", "done", "dead")
+
+    def __init__(self, worker_id: str, conn: JSONLineConnection, pid: int) -> None:
+        self.id = worker_id
+        self.conn = conn
+        self.pid = pid
+        self.last_seen = time.monotonic()
+        self.current: _Task | None = None
+        self.done = 0
+        self.dead = False
+
+
+class DistributedBackend(ExecutionBackend):
+    """Coordinate fit-score tasks across remote worker processes.
+
+    Parameters
+    ----------
+    jobs:
+        Nominal worker count.  With no ``connect`` addresses this many
+        local ``repro worker`` subprocesses are spawned against the
+        coordinator's own listener (``spawn_workers`` overrides).
+    connect:
+        Addresses of *listening* workers (``repro worker --listen``) to
+        dial at startup, as ``host:port`` strings or ``(host, port)``
+        pairs.  Defaults to the ``REPRO_DISTRIBUTED_CONNECT``
+        environment variable; when set, no local workers are spawned.
+    listen:
+        ``(host, port)`` the coordinator binds for dial-in workers
+        (default: loopback, ephemeral port — read it back from
+        :attr:`address`).
+    spawn_workers:
+        Local worker subprocesses to launch (default: ``jobs`` when
+        ``connect`` is empty, else 0).
+    heartbeat:
+        Seconds between worker heartbeats (sent to workers in the
+        welcome frame).
+    heartbeat_timeout:
+        Silence after which a worker is evicted (default
+        ``5 × heartbeat``).
+    task_timeout:
+        Wall-clock bound per task dispatch; exceeding it evicts the
+        worker and requeues the task (default: none — fit tasks vary
+        hugely with dataset size).
+    register_timeout:
+        How long a queued task waits for *any* worker before the
+        coordinator runs it inline (``inline_fallback=False`` disables
+        the fallback and keeps waiting).
+    max_task_retries:
+        Worker deaths one task survives before its future fails with
+        :class:`WorkerLostError`.
+
+    The backend is thread-safe: concurrent ``map`` calls (the service
+    topology — many sessions, one shared backend) interleave their tasks
+    on one queue and collect by future, so ordering per call is intact.
+    """
+
+    name = "distributed"
+
+    def __init__(
+        self,
+        jobs: int = 2,
+        *,
+        connect: Iterable | None = None,
+        listen: tuple[str, int] = ("127.0.0.1", 0),
+        spawn_workers: int | None = None,
+        heartbeat: float = 1.0,
+        heartbeat_timeout: float | None = None,
+        task_timeout: float | None = None,
+        register_timeout: float = 10.0,
+        handshake_timeout: float = 10.0,
+        max_frame: int = DEFAULT_MAX_TASK_FRAME,
+        inline_fallback: bool = True,
+        max_task_retries: int = 3,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.workers = jobs
+        self.connect = [self._normalize(a) for a in (connect or [])]
+        self.listen = listen
+        self.spawn_workers = (
+            (jobs if not self.connect else 0)
+            if spawn_workers is None
+            else spawn_workers
+        )
+        self.heartbeat = float(heartbeat)
+        self.heartbeat_timeout = (
+            5.0 * self.heartbeat if heartbeat_timeout is None else heartbeat_timeout
+        )
+        self.task_timeout = task_timeout
+        self.register_timeout = register_timeout
+        self.handshake_timeout = handshake_timeout
+        self.max_frame = max_frame
+        self.inline_fallback = inline_fallback
+        self.max_task_retries = max_task_retries
+
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._pending: deque[_Task] = deque()
+        self._inflight: dict[int, _Task] = {}
+        self._workers: dict[str, _Worker] = {}
+        self._task_ids = itertools.count()
+        self._worker_ids = itertools.count()
+        self._listener: socket.socket | None = None
+        self._threads: list[threading.Thread] = []
+        self._procs: list[subprocess.Popen] = []
+        self._stop = threading.Event()
+        self._started = False
+        self._degraded = False
+        self._warned_inline = False
+        self._last_worker_seen = time.monotonic()
+        self._counters = {"done": 0, "requeued": 0, "evicted": 0, "inline": 0}
+
+    @staticmethod
+    def _normalize(address) -> tuple[str, int]:
+        if isinstance(address, str):
+            return parse_address(address)
+        host, port = address
+        return str(host), int(port)
+
+    @classmethod
+    def from_env(cls, jobs: int = 2, **kwargs) -> "DistributedBackend":
+        """Build with ``connect`` taken from ``REPRO_DISTRIBUTED_CONNECT``."""
+        if "connect" not in kwargs:
+            raw = os.environ.get(CONNECT_ENV, "")
+            addresses = [part.strip() for part in raw.split(",") if part.strip()]
+            kwargs["connect"] = addresses or None
+        return cls(jobs, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def address(self) -> tuple[str, int] | None:
+        """``(host, port)`` of the coordinator's listener once started."""
+        if self._listener is None:
+            return None
+        return self._listener.getsockname()[:2]
+
+    def start(self) -> None:
+        """Open the listener, dial/spawn workers, start service threads."""
+        with self._lock:
+            if self._started or self._degraded:
+                return
+            self._started = True
+            self._stop.clear()
+        try:
+            self._listener = socket.create_server(self.listen, backlog=16)
+        except OSError as exc:
+            self._degrade(f"cannot listen on {format_address(self.listen)}: {exc}")
+            return
+        self._last_worker_seen = time.monotonic()
+        self._spawn_thread(self._accept_loop, "repro-dist-accept")
+        self._spawn_thread(self._dispatch_loop, "repro-dist-dispatch")
+        self._spawn_thread(self._monitor_loop, "repro-dist-monitor")
+        for address in self.connect:
+            self._dial_worker(address)
+        if self.spawn_workers > 0:
+            try:
+                self._spawn_local_workers(self.spawn_workers)
+            except OSError as exc:
+                self.shutdown()
+                self._degrade(f"cannot spawn local workers: {exc}")
+
+    def shutdown(self) -> None:
+        """Stop serving: dismiss workers, fail leftovers, reap processes."""
+        with self._lock:
+            if not self._started:
+                return
+            self._started = False
+            self._stop.set()
+            workers = list(self._workers.values())
+            leftovers = list(self._pending) + list(self._inflight.values())
+            self._pending.clear()
+            self._inflight.clear()
+            self._workers.clear()
+            self._cond.notify_all()
+        for task in leftovers:
+            if not task.future.done():
+                task.future.set_exception(
+                    RuntimeError("distributed backend was shut down mid-task")
+                )
+        for worker in workers:
+            try:
+                worker.conn.send({"op": "shutdown"})
+            except (OSError, FrameError):
+                pass
+            worker.conn.close()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            self._listener = None
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        self._threads.clear()
+        for proc in self._procs:
+            try:
+                proc.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=5.0)
+        self._procs.clear()
+
+    def _degrade(self, reason: str) -> None:
+        self._degraded = True
+        warnings.warn(
+            f"distributed backend unavailable ({reason}); running tasks inline",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+    def _spawn_thread(self, target: Callable, name: str) -> None:
+        thread = threading.Thread(target=target, name=name, daemon=True)
+        thread.start()
+        self._threads.append(thread)
+
+    def _spawn_local_workers(self, count: int) -> None:
+        """Launch ``count`` ``repro worker`` subprocesses at our listener."""
+        host, port = self.address
+        # The workers must import repro the way this process does, even
+        # when it runs from a source tree that is not installed — put the
+        # directory *containing* the repro package on their PYTHONPATH.
+        package_parent = os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (package_parent, env.get("PYTHONPATH")) if p
+        )
+        for index in range(count):
+            self._procs.append(
+                subprocess.Popen(
+                    [
+                        sys.executable,
+                        "-m",
+                        "repro",
+                        "worker",
+                        "--connect",
+                        f"{host}:{port}",
+                        "--id",
+                        f"local-{index}",
+                    ],
+                    env=env,
+                    stdout=subprocess.DEVNULL,
+                )
+            )
+
+    def _dial_worker(self, address: tuple[str, int]) -> None:
+        """Connect out to one listening worker (``connect`` topology)."""
+        try:
+            sock = socket.create_connection(address, timeout=self.handshake_timeout)
+        except OSError as exc:
+            raise ConnectionError(
+                f"cannot reach worker at {format_address(address)}: {exc}"
+            ) from exc
+        conn = JSONLineConnection(sock, self.max_frame)
+        self._spawn_thread(
+            lambda: self._serve_connection(conn), "repro-dist-reader"
+        )
+
+    # ------------------------------------------------------------------ #
+    # worker connections
+    # ------------------------------------------------------------------ #
+    def _accept_loop(self) -> None:
+        listener = self._listener
+        while not self._stop.is_set():
+            try:
+                sock, _ = listener.accept()
+            except OSError:
+                return  # listener closed by shutdown
+            conn = JSONLineConnection(sock, self.max_frame)
+            self._spawn_thread(
+                lambda c=conn: self._serve_connection(c), "repro-dist-reader"
+            )
+
+    def _serve_connection(self, conn: JSONLineConnection) -> None:
+        """Handshake one connection, then pump its frames until it dies."""
+        worker = self._handshake(conn)
+        if worker is None:
+            conn.close()
+            return
+        try:
+            while not self._stop.is_set():
+                try:
+                    frame = conn.recv()
+                except (FrameError, OSError):
+                    break
+                if frame is None:
+                    break
+                self._on_frame(worker, frame)
+        finally:
+            self._evict(worker, "connection lost")
+
+    def _handshake(self, conn: JSONLineConnection) -> _Worker | None:
+        conn.sock.settimeout(self.handshake_timeout)
+        try:
+            hello = conn.recv()
+            if not hello or hello.get("op") != "hello":
+                return None
+            if hello.get("protocol") != PROTOCOL_VERSION:
+                conn.send(
+                    {
+                        "op": "goodbye",
+                        "reason": f"protocol {hello.get('protocol')!r} "
+                        f"unsupported (want {PROTOCOL_VERSION})",
+                    }
+                )
+                return None
+            conn.send({"op": "welcome", "heartbeat": self.heartbeat})
+        except (FrameError, OSError):
+            return None
+        conn.sock.settimeout(None)
+        base = str(hello.get("worker") or conn.peer)
+        with self._lock:
+            worker_id = f"{base}#{next(self._worker_ids)}"
+            worker = _Worker(worker_id, conn, int(hello.get("pid") or 0))
+            self._workers[worker_id] = worker
+            self._last_worker_seen = time.monotonic()
+            self._cond.notify_all()
+        return worker
+
+    def _on_frame(self, worker: _Worker, frame: dict) -> None:
+        with self._lock:
+            worker.last_seen = time.monotonic()
+            self._last_worker_seen = worker.last_seen
+        op = frame.get("op")
+        if op == "result":
+            self._complete(worker, frame)
+        # heartbeats only refresh last_seen, handled above
+
+    def _complete(self, worker: _Worker, frame: dict) -> None:
+        task_id = frame.get("id")
+        with self._lock:
+            task = self._inflight.pop(task_id, None)
+            if task is None:
+                # The monitor may have evicted-and-requeued this task a
+                # moment before its (late) result landed; serve the
+                # result rather than computing it again elsewhere.
+                for queued in self._pending:
+                    if queued.id == task_id:
+                        task = queued
+                        self._pending.remove(queued)
+                        break
+            if worker.current is task or (
+                worker.current is not None and worker.current.id == task_id
+            ):
+                worker.current = None
+            worker.done += 1
+            self._counters["done"] += 1
+            self._cond.notify_all()
+        if task is None or task.future.done():
+            return
+        if frame.get("ok"):
+            try:
+                task.future.set_result(text_to_pickle(frame["payload"]))
+            except Exception as exc:  # undecodable result payload
+                task.future.set_exception(
+                    RemoteTaskError(
+                        {"type": type(exc).__name__, "message": str(exc)}
+                    )
+                )
+        else:
+            task.future.set_exception(
+                RemoteTaskError(
+                    frame.get("error") or {}, frame.get("traceback", "")
+                )
+            )
+
+    def _evict(self, worker: _Worker, reason: str) -> None:
+        """Drop a worker; requeue (or fail) the task it was running."""
+        with self._lock:
+            if worker.dead:
+                return
+            worker.dead = True
+            self._workers.pop(worker.id, None)
+            task, worker.current = worker.current, None
+            requeue = None
+            if task is not None and self._inflight.pop(task.id, None) is not None:
+                task.attempts += 1
+                if task.attempts > self.max_task_retries:
+                    requeue = False
+                else:
+                    requeue = True
+                    self._pending.appendleft(task)
+                    self._counters["requeued"] += 1
+            self._counters["evicted"] += 1
+            self._cond.notify_all()
+        worker.conn.close()
+        if requeue is False and not task.future.done():
+            task.future.set_exception(
+                WorkerLostError(
+                    f"task {task.id} lost {task.attempts} workers "
+                    f"(last: {worker.id}, {reason})"
+                )
+            )
+
+    # ------------------------------------------------------------------ #
+    # dispatch
+    # ------------------------------------------------------------------ #
+    def _dispatch_loop(self) -> None:
+        tick = max(0.05, self.heartbeat / 2.0)
+        while True:
+            inline_task = None
+            with self._lock:
+                while not self._stop.is_set():
+                    assignment = self._next_assignment()
+                    if assignment is not None:
+                        break
+                    if self._pending and self._inline_due():
+                        inline_task = self._pending.popleft()
+                        self._counters["inline"] += 1
+                        break
+                    self._cond.wait(timeout=tick)
+                else:
+                    return
+                if inline_task is None and assignment is not None:
+                    task, worker = assignment
+                    worker.current = task
+                    task.started_at = time.monotonic()
+                    self._inflight[task.id] = task
+            if inline_task is not None:
+                self._run_inline(inline_task)
+                continue
+            try:
+                worker.conn.send(
+                    {"op": "task", "id": task.id, "payload": task.payload}
+                )
+            except (OSError, FrameError):
+                self._evict(worker, "send failed")
+
+    def _next_assignment(self) -> tuple[_Task, _Worker] | None:
+        if not self._pending:
+            return None
+        for worker in self._workers.values():
+            if worker.current is None and not worker.dead:
+                return self._pending.popleft(), worker
+        return None
+
+    def _inline_due(self) -> bool:
+        """Whether queued work has waited long enough to run locally."""
+        if not self.inline_fallback or self._workers:
+            return False
+        if time.monotonic() - self._last_worker_seen < self.register_timeout:
+            return False
+        if not self._warned_inline:
+            self._warned_inline = True
+            warnings.warn(
+                "no distributed worker available for "
+                f"{self.register_timeout:g}s; running queued tasks inline",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return True
+
+    def _run_inline(self, task: _Task) -> None:
+        if task.future.done():
+            return
+        fn, args = task.call
+        try:
+            task.future.set_result(fn(*args))
+        except BaseException as exc:  # noqa: BLE001 — futures carry failures
+            task.future.set_exception(exc)
+
+    def _monitor_loop(self) -> None:
+        tick = max(0.05, self.heartbeat / 2.0)
+        while not self._stop.wait(tick):
+            now = time.monotonic()
+            stale: list[tuple[_Worker, str]] = []
+            with self._lock:
+                for worker in self._workers.values():
+                    if now - worker.last_seen > self.heartbeat_timeout:
+                        stale.append((worker, "heartbeat timeout"))
+                    elif (
+                        self.task_timeout is not None
+                        and worker.current is not None
+                        and now - worker.current.started_at > self.task_timeout
+                    ):
+                        stale.append((worker, "task timeout"))
+            for worker, reason in stale:
+                self._evict(worker, reason)
+
+    # ------------------------------------------------------------------ #
+    # the ExecutionBackend verbs
+    # ------------------------------------------------------------------ #
+    def _enqueue(self, fn: Callable, args: tuple) -> Future:
+        task = _Task(
+            next(self._task_ids), (fn, args), pickle_to_text((fn, args))
+        )
+        with self._lock:
+            self._pending.append(task)
+            self._cond.notify_all()
+        return task.future
+
+    def map(self, fn: Callable, tasks: Iterable) -> list:
+        """Apply ``fn`` to every task; results come back in task order.
+
+        Tasks fan out across every registered worker; eviction and
+        requeue keep the call running through worker deaths, and the
+        inline fallback keeps it running with no workers at all.
+        """
+        tasks = list(tasks) if not isinstance(tasks, Sequence) else tasks
+        if not tasks:
+            return []
+        if self._degraded:
+            return [fn(task) for task in tasks]
+        self.start()
+        if self._degraded:  # start() may have just degraded
+            return [fn(task) for task in tasks]
+        futures = [self._enqueue(fn, (task,)) for task in tasks]
+        return [future.result() for future in futures]
+
+    def submit(self, fn: Callable, /, *args) -> Future:
+        """Dispatch ``fn(*args)`` to the worker pool, returning its future."""
+        if not self._degraded:
+            self.start()
+        if self._degraded:
+            return ExecutionBackend.submit(self, fn, *args)
+        return self._enqueue(fn, args)
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def wait_for_workers(self, count: int, timeout: float = 30.0) -> int:
+        """Block until ``count`` workers registered (returns live count)."""
+        self.start()
+        deadline = time.monotonic() + timeout
+        with self._lock:
+            while len(self._workers) < count:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or self._degraded:
+                    break
+                self._cond.wait(timeout=remaining)
+            return len(self._workers)
+
+    def worker_info(self) -> list[dict]:
+        """Snapshot of every live worker (id, pid, busy, tasks done)."""
+        with self._lock:
+            return [
+                {
+                    "id": w.id,
+                    "pid": w.pid,
+                    "busy": w.current is not None,
+                    "tasks_done": w.done,
+                }
+                for w in self._workers.values()
+            ]
+
+    def stats(self) -> dict:
+        """Queue depth, worker counts, and lifetime task counters."""
+        with self._lock:
+            return {
+                "backend": self.name,
+                "nominal_workers": self.workers,
+                "live_workers": len(self._workers),
+                "spawned_processes": len(self._procs),
+                "pending": len(self._pending),
+                "inflight": len(self._inflight),
+                "degraded": self._degraded,
+                **self._counters,
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"DistributedBackend(jobs={self.workers}, "
+            f"live={len(self._workers)}, address={self.address})"
+        )
+
+
+# ---------------------------------------------------------------------- #
+# worker side
+# ---------------------------------------------------------------------- #
+def _execute_frame(frame: dict) -> dict:
+    """Run one task frame, rendering the outcome as a result frame."""
+    try:
+        fn, args = text_to_pickle(frame["payload"])
+        result = fn(*args)
+        return {
+            "op": "result",
+            "id": frame.get("id"),
+            "ok": True,
+            "payload": pickle_to_text(result),
+        }
+    except Exception as exc:  # noqa: BLE001 — shipped back, never fatal here
+        return {
+            "op": "result",
+            "id": frame.get("id"),
+            "ok": False,
+            "error": {"type": type(exc).__name__, "message": str(exc)},
+            "traceback": traceback.format_exc(limit=30),
+        }
+
+
+def worker_serve(
+    conn: JSONLineConnection,
+    *,
+    worker_id: str = "worker",
+    _fail_after_tasks: int | None = None,
+    _mute: bool = False,
+) -> int:
+    """Serve one coordinator over an established connection.
+
+    Performs the hello/welcome handshake, starts the heartbeat thread
+    (which beats *during* task execution — liveness is orthogonal to
+    progress), then loops task → result until the coordinator says
+    ``shutdown`` or the connection ends.  Returns the number of tasks
+    completed.
+
+    ``_fail_after_tasks`` and ``_mute`` are failure-injection hooks for
+    the fault-tolerance tests: the former makes the worker drop its
+    connection (simulated crash) when task ``n + 1`` arrives, the latter
+    suppresses heartbeats so eviction-by-silence can be exercised.
+    """
+    conn.send(
+        {
+            "op": "hello",
+            "worker": worker_id,
+            "pid": os.getpid(),
+            "protocol": PROTOCOL_VERSION,
+        }
+    )
+    welcome = conn.recv()
+    if not welcome or welcome.get("op") != "welcome":
+        reason = (welcome or {}).get("reason", "no welcome frame")
+        raise ConnectionError(f"coordinator rejected worker: {reason}")
+    interval = float(welcome.get("heartbeat", 1.0))
+    stop_beating = threading.Event()
+
+    def _beat() -> None:
+        while not stop_beating.wait(interval):
+            try:
+                conn.send({"op": "heartbeat"})
+            except (OSError, FrameError):
+                return
+
+    if not _mute:
+        threading.Thread(
+            target=_beat, name=f"{worker_id}-heartbeat", daemon=True
+        ).start()
+    done = 0
+    try:
+        while True:
+            frame = conn.recv()
+            if frame is None or frame.get("op") == "shutdown":
+                break
+            if frame.get("op") != "task":
+                continue
+            if _fail_after_tasks is not None and done >= _fail_after_tasks:
+                conn.close()  # simulated crash: vanish without replying
+                break
+            conn.send(_execute_frame(frame))
+            done += 1
+    finally:
+        stop_beating.set()
+        conn.close()
+    return done
+
+
+def run_worker(
+    *,
+    connect: str | tuple[str, int],
+    worker_id: str = "worker",
+    retries: int = 60,
+    backoff: float = 0.25,
+    max_frame: int = DEFAULT_MAX_TASK_FRAME,
+) -> int:
+    """Dial a coordinator (with bounded connect retries) and serve it.
+
+    The retry loop tolerates the common startup race — worker processes
+    launched a moment before the coordinator binds its listener — by
+    retrying refused connections with linear backoff for up to
+    ``retries × backoff`` seconds.  Returns the number of tasks served.
+    """
+    address = (
+        parse_address(connect) if isinstance(connect, str) else connect
+    )
+    last_error: OSError | None = None
+    for attempt in range(max(1, retries)):
+        try:
+            sock = socket.create_connection(address, timeout=30.0)
+            break
+        except OSError as exc:
+            last_error = exc
+            time.sleep(backoff * min(attempt + 1, 8))
+    else:
+        raise ConnectionError(
+            f"cannot reach coordinator at {format_address(address)} "
+            f"after {retries} attempts: {last_error}"
+        )
+    sock.settimeout(None)
+    return worker_serve(
+        JSONLineConnection(sock, max_frame), worker_id=worker_id
+    )
+
+
+def listen_worker(
+    *,
+    listen: str | tuple[str, int],
+    worker_id: str = "worker",
+    max_frame: int = DEFAULT_MAX_TASK_FRAME,
+    once: bool = False,
+    ready: Callable[[tuple[str, int]], None] | None = None,
+) -> int:
+    """Listen for coordinators and serve them one at a time.
+
+    The inverted topology: the worker owns a port
+    (``repro worker --listen``) and coordinators dial in via their
+    ``connect=[...]`` option.  ``ready`` is called once with the bound
+    address (the CLI prints its readiness line from it).  Serves
+    coordinators sequentially until interrupted, or exactly one with
+    ``once=True``.  Returns the total number of tasks served.
+    """
+    address = parse_address(listen) if isinstance(listen, str) else listen
+    total = 0
+    with socket.create_server(address, backlog=2) as listener:
+        if ready is not None:
+            ready(listener.getsockname()[:2])
+        while True:
+            sock, _ = listener.accept()
+            sock.settimeout(None)
+            try:
+                total += worker_serve(
+                    JSONLineConnection(sock, max_frame), worker_id=worker_id
+                )
+            except (ConnectionError, FrameError, OSError):
+                pass  # a vanished coordinator ends its pairing, not the worker
+            if once:
+                return total

@@ -7,7 +7,7 @@ comet.Comet`, the experiment runner, and the CLI's ``--backend`` flag.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, NamedTuple
 
 from repro.runtime.backends import (
     ExecutionBackend,
@@ -15,16 +15,32 @@ from repro.runtime.backends import (
     SerialBackend,
     ThreadBackend,
 )
+from repro.runtime.distributed import DistributedBackend
 
 __all__ = ["register_backend", "make_backend", "available_backends"]
 
-#: name → factory taking the worker count.
-_BACKENDS: dict[str, Callable[[int], ExecutionBackend]] = {}
+
+class _Entry(NamedTuple):
+    factory: Callable[[int], ExecutionBackend]
+    #: Whether ``jobs <= 1`` should yield a :class:`SerialBackend`
+    #: instead of calling the factory.  True for the in-process pools
+    #: (one worker *is* serial execution); False for backends whose
+    #: workers live elsewhere — one *remote* worker is still remote.
+    serial_when_single: bool
 
 
-def register_backend(name: str, factory: Callable[[int], ExecutionBackend]) -> None:
+#: name → registered entry.
+_BACKENDS: dict[str, _Entry] = {}
+
+
+def register_backend(
+    name: str,
+    factory: Callable[[int], ExecutionBackend],
+    *,
+    serial_when_single: bool = True,
+) -> None:
     """Register a backend factory under ``name`` (overwrites silently)."""
-    _BACKENDS[name] = factory
+    _BACKENDS[name] = _Entry(factory, serial_when_single)
 
 
 def available_backends() -> list[str]:
@@ -43,22 +59,29 @@ def make_backend(
         Registry name, or an already-constructed backend (returned as-is
         so callers can inject custom implementations).
     jobs:
-        Worker count.  ``jobs <= 1`` always yields a
-        :class:`SerialBackend` — one worker is serial execution, so no
-        pool is ever paid for it.
+        Worker count.  ``jobs <= 1`` yields a :class:`SerialBackend` for
+        the in-process pools — one worker is serial execution, so no
+        pool is ever paid for it.  Backends registered with
+        ``serial_when_single=False`` (``"distributed"``) are exempt:
+        their single worker runs somewhere a serial fallback cannot.
     """
     if isinstance(backend, ExecutionBackend):
         return backend
-    factory = _BACKENDS.get(backend)
-    if factory is None:
+    entry = _BACKENDS.get(backend)
+    if entry is None:
         raise ValueError(
             f"unknown backend {backend!r}; choose from {available_backends()}"
         )
-    if jobs <= 1:
+    if jobs <= 1 and entry.serial_when_single:
         return SerialBackend()
-    return factory(jobs)
+    return entry.factory(max(jobs, 1))
 
 
 register_backend("serial", lambda jobs: SerialBackend())
 register_backend("thread", lambda jobs: ThreadBackend(jobs))
 register_backend("process", lambda jobs: ProcessBackend(jobs))
+register_backend(
+    "distributed",
+    lambda jobs: DistributedBackend.from_env(jobs),
+    serial_when_single=False,
+)

@@ -15,6 +15,13 @@ identity) and the salted identity tokens survive the trip. Worker
 processes therefore see the *same* token on the same content across
 tasks and sweeps, and their featurization caches hit exactly like the
 parent's would — without shipping any cache state.
+
+The same purity is what makes the distributed backend's fault tolerance
+safe: :func:`run_fit_score_task` is importable by name in any worker
+process (pickle-by-reference) and has no side effects, so a task whose
+worker died mid-run can simply be requeued on another worker — the rerun
+produces byte-identical results because every input was frozen into the
+payload at build time.
 """
 
 from __future__ import annotations

@@ -27,6 +27,7 @@ from repro.service.service import CometService, dispatch_line, serve_stream
 from repro.service.transport import (
     CometClient,
     CometClientError,
+    CometConnectionError,
     CometHTTPServer,
     CometTCPServer,
 )
@@ -44,4 +45,5 @@ __all__ = [
     "CometHTTPServer",
     "CometClient",
     "CometClientError",
+    "CometConnectionError",
 ]

@@ -88,6 +88,21 @@ class SessionScheduler:
     # ------------------------------------------------------------------ #
     # introspection
     # ------------------------------------------------------------------ #
+    def stats(self) -> dict:
+        """Queue depth and worker counts for the ``status`` verb.
+
+        ``jobs_in_flight`` are iteration verbs currently executing (or
+        queued for a free worker thread); ``jobs_uncollected`` finished
+        with ``"wait": false`` and await their ``result`` call.
+        """
+        with self._lock:
+            in_flight = sum(1 for f in self._jobs.values() if not f.done())
+            return {
+                "workers": self.workers,
+                "jobs_in_flight": in_flight,
+                "jobs_uncollected": len(self._jobs) - in_flight,
+            }
+
     def job(self, name: str) -> Future | None:
         """The in-flight or uncollected job for ``name`` (``None`` if none)."""
         with self._lock:

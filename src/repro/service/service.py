@@ -39,7 +39,9 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from repro.detect import fd_cache_stats
 from repro.experiments import Configuration, build_polluted
+from repro.ml import fit_cache_stats
 from repro.runtime import ExecutionBackend, make_backend
 from repro.service.quotas import SessionBusyError, SessionQuotas, error_payload
 from repro.service.scheduler import SessionScheduler
@@ -474,13 +476,23 @@ class CometService:
     def _handle_status(self, request: dict, client: str) -> dict:
         name = request.get("name")
         if name is None:
-            return {
+            # Service-level status doubles as the remote operator's
+            # observability surface: cache hit rates and scheduler/
+            # backend load without process access.
+            payload = {
                 "sessions": self.names(),
                 "backend": self.backend.name,
                 "workers": self.backend.workers,
                 "scheduler_workers": self.scheduler.workers,
+                "scheduler": self.scheduler.stats(),
                 "quotas": self.quotas.to_dict(),
+                "fd_cache": fd_cache_stats(),
+                "fit_cache": fit_cache_stats(),
             }
+            backend_stats = getattr(self.backend, "stats", None)
+            if callable(backend_stats):
+                payload["backend_stats"] = backend_stats()
+            return payload
         record = self._record(name)
         running = self.scheduler.running(name)
         with record.lock:

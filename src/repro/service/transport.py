@@ -30,8 +30,16 @@ import json
 import socket
 import socketserver
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+# The line-delimited-JSON framing lives in the runtime layer
+# (``repro.runtime.wire``) so the distributed execution backend speaks
+# the same format; this module reuses the helpers and keeps only the
+# server-side frame-recovery logic (drain, keep-alive) that is specific
+# to serving untrusted request streams.
+from repro.runtime.wire import DEFAULT_MAX_FRAME, encode_frame
+from repro.runtime.wire import frame_error as _frame_error
 from repro.service.quotas import ServiceError
 from repro.service.service import CometService, dispatch_line
 
@@ -40,11 +48,9 @@ __all__ = [
     "CometHTTPServer",
     "CometClient",
     "CometClientError",
+    "CometConnectionError",
     "DEFAULT_MAX_FRAME",
 ]
-
-#: Upper bound on one request frame (bytes) before it is rejected.
-DEFAULT_MAX_FRAME = 1_000_000
 
 #: Verbs the HTTP adapter exposes as ``POST /<verb>``.
 _HTTP_VERBS = (
@@ -57,13 +63,6 @@ _HTTP_VERBS = (
     "checkpoint",
     "close",
 )
-
-
-def _frame_error(message: str) -> dict:
-    return {
-        "ok": False,
-        "error": {"type": "FrameError", "message": message, "code": "bad_frame"},
-    }
 
 
 class _CometServerMixin:
@@ -169,7 +168,7 @@ class _TCPHandler(socketserver.StreamRequestHandler):
 
     def _reply(self, response: dict) -> bool:
         try:
-            self.wfile.write(json.dumps(response).encode("utf-8") + b"\n")
+            self.wfile.write(encode_frame(response))
             self.wfile.flush()
             return True
         except (ConnectionError, OSError):
@@ -364,6 +363,36 @@ class CometClientError(ServiceError):
         self.code = error.get("code", "service_error")
 
 
+class CometConnectionError(CometClientError, ConnectionError):
+    """The transport failed: connect retries exhausted, or the server
+    vanished mid-call.
+
+    Doubly inherits :class:`ConnectionError` so callers written against
+    the raw socket exceptions (``except OSError`` / ``except
+    ConnectionError``) keep working, while new callers branch on the
+    structured ``code`` like any other :class:`CometClientError`.
+    """
+
+    def __init__(self, message: str, **details) -> None:
+        super().__init__(
+            {
+                "type": "ConnectionError",
+                "message": message,
+                "code": "connection_lost",
+                "details": details,
+            }
+        )
+
+
+#: Connect errors worth retrying: the server is starting up or briefly
+#: restarting.  DNS failures and unreachable routes are not transient.
+_TRANSIENT_CONNECT_ERRORS = (
+    ConnectionRefusedError,
+    ConnectionResetError,
+    ConnectionAbortedError,
+)
+
+
 class CometClient:
     """Speak the line-delimited-JSON TCP protocol programmatically.
 
@@ -380,6 +409,15 @@ class CometClient:
         Socket timeout in seconds; ``None`` (default) blocks for as
         long as a synchronous ``run`` takes. Set a timeout when using
         ``wait=False`` verbs to keep the client itself responsive.
+    retries:
+        Bounded attempts for the *initial* connect: refused and reset
+        connections (a server still binding its port, briefly
+        restarting) are retried with linear backoff; other failures
+        raise immediately.  After the last attempt the refusal
+        surfaces as :class:`CometConnectionError`.
+    backoff:
+        Base seconds between connect attempts (attempt ``n`` waits
+        ``n × backoff``).
     """
 
     def __init__(
@@ -388,33 +426,67 @@ class CometClient:
         host: str = "127.0.0.1",
         *,
         timeout: float | None = None,
+        retries: int = 3,
+        backoff: float = 0.1,
     ) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+        if retries < 1:
+            raise ValueError(f"retries must be >= 1, got {retries}")
+        last: OSError | None = None
+        for attempt in range(retries):
+            try:
+                self._sock = socket.create_connection((host, port), timeout=timeout)
+                break
+            except _TRANSIENT_CONNECT_ERRORS as exc:
+                last = exc
+                time.sleep(backoff * (attempt + 1))
+        else:
+            raise CometConnectionError(
+                f"cannot connect to {host}:{port} after {retries} "
+                f"attempts: {last}",
+                host=host,
+                port=port,
+                retries=retries,
+            ) from last
         self._rfile = self._sock.makefile("rb")
         self._lock = threading.Lock()
         self._broken = False
 
     # -- transport ------------------------------------------------------ #
     def call(self, request: dict) -> dict:
-        """Send one request object, return the raw response envelope."""
-        payload = json.dumps(request).encode("utf-8") + b"\n"
+        """Send one request object, return the raw response envelope.
+
+        Mid-call transport failures poison the connection (a late
+        response would desynchronize subsequent calls) and surface as
+        :class:`CometConnectionError`; a *timeout* re-raises the raw
+        ``TimeoutError`` so callers can distinguish their own deadline
+        from a vanished server.
+        """
+        payload = encode_frame(request)
         with self._lock:
             if self._broken:
-                raise ConnectionError(
+                raise CometConnectionError(
                     "connection is desynchronized after a timeout or "
                     "socket error; open a new CometClient"
                 )
             try:
                 self._sock.sendall(payload)
                 line = self._rfile.readline()
-            except OSError:  # timeouts included (TimeoutError ⊂ OSError)
+            except TimeoutError:
                 # The response to this request may still arrive later;
                 # a subsequent call would read it as its own. Poison the
                 # connection instead of silently mismatching frames.
                 self._broken = True
                 raise
+            except OSError as exc:
+                self._broken = True
+                raise CometConnectionError(
+                    f"connection lost mid-call: {exc}"
+                ) from exc
         if not line:
-            raise ConnectionError("server closed the connection")
+            self._broken = True
+            raise CometConnectionError(
+                "server closed the connection before responding"
+            )
         return json.loads(line.decode("utf-8"))
 
     def _result(self, request: dict) -> dict:

@@ -156,17 +156,20 @@ class TestSessionCommands:
             assert ready.startswith("serving tcp on 127.0.0.1:"), ready
             port = int(ready.rsplit(":", 1)[1])
             with CometClient(port, timeout=30) as client:
-                assert client.status() == {
-                    "sessions": [],
-                    "backend": "serial",
-                    "workers": 1,
-                    "scheduler_workers": 4,
-                    "quotas": {
-                        "max_iterations": None,
-                        "max_seconds": None,
-                        "max_sessions": None,
-                    },
+                status = client.status()
+                assert status["sessions"] == []
+                assert status["backend"] == "serial"
+                assert status["workers"] == 1
+                assert status["scheduler_workers"] == 4
+                assert status["quotas"] == {
+                    "max_iterations": None,
+                    "max_seconds": None,
+                    "max_sessions": None,
                 }
+                # Observability extras (PR 7): scheduler + cache counters.
+                assert status["scheduler"]["jobs_in_flight"] == 0
+                assert {"hits", "misses"} <= set(status["fd_cache"])
+                assert {"hits", "misses"} <= set(status["fit_cache"])
                 assert client.shutdown_server() == {"shutdown": True}
             assert proc.wait(timeout=30) == 0
         finally:

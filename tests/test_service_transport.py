@@ -18,6 +18,7 @@ import pytest
 from repro.service import (
     CometClient,
     CometClientError,
+    CometConnectionError,
     CometHTTPServer,
     CometService,
     CometTCPServer,
@@ -239,6 +240,80 @@ class TestFrameHardening:
             sock.sendall(b"\n   \n" + json.dumps({"action": "status"}).encode() + b"\n")
             response = json.loads(reader.readline())
             assert response["ok"] and "sessions" in response["result"]
+
+
+class TestClientResilience:
+    """``CometClient`` connect retries and mid-call disconnect wrapping."""
+
+    def test_connect_retries_until_server_appears(self, service):
+        # Grab a free port, then start the server on it *after* the
+        # client has begun dialing — the retry loop must bridge the gap.
+        placeholder = socket.create_server(("127.0.0.1", 0))
+        port = placeholder.getsockname()[1]
+        placeholder.close()
+        server_box = {}
+
+        def late_start():
+            time.sleep(0.4)
+            server_box["server"] = CometTCPServer(service, ("127.0.0.1", port))
+            server_box["server"].serve_background()
+
+        thread = threading.Thread(target=late_start, daemon=True)
+        thread.start()
+        try:
+            with CometClient(port, timeout=30, retries=10, backoff=0.15) as client:
+                assert client.call({"action": "status"})["ok"]
+        finally:
+            thread.join(timeout=10)
+            server = server_box.get("server")
+            if server is not None:
+                server.shutdown()
+                server.server_close()
+
+    def test_connect_retries_exhausted(self):
+        placeholder = socket.create_server(("127.0.0.1", 0))
+        port = placeholder.getsockname()[1]
+        placeholder.close()  # nothing listens here anymore
+        start = time.monotonic()
+        with pytest.raises(CometConnectionError) as excinfo:
+            CometClient(port, retries=2, backoff=0.05)
+        assert time.monotonic() - start < 30
+        error = excinfo.value
+        assert isinstance(error, ConnectionError)  # legacy except clauses
+        assert isinstance(error, CometClientError)
+        assert error.code == "connection_lost"
+        assert error.details["retries"] == 2
+        assert "2 attempt" in str(error)
+
+    def test_mid_call_disconnect_wrapped(self):
+        # A bare listener that accepts one connection, reads the request,
+        # then vanishes without replying — the server dying mid-call.
+        listener = socket.create_server(("127.0.0.1", 0))
+        port = listener.getsockname()[1]
+
+        def vanish():
+            conn, _ = listener.accept()
+            conn.recv(4096)
+            conn.close()
+
+        thread = threading.Thread(target=vanish, daemon=True)
+        thread.start()
+        client = CometClient(port, timeout=30)
+        try:
+            with pytest.raises(CometConnectionError, match="closed the connection"):
+                client.call({"action": "status"})
+            # The connection is poisoned: later calls fail fast, and the
+            # error still satisfies legacy ``except ConnectionError``.
+            with pytest.raises(ConnectionError, match="desynchronized"):
+                client.call({"action": "status"})
+        finally:
+            client.close()
+            listener.close()
+            thread.join(timeout=10)
+
+    def test_retries_must_be_positive(self):
+        with pytest.raises(ValueError, match="retries"):
+            CometClient(1, retries=0)
 
 
 class TestNetworkedDeterminism:
