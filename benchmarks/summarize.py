@@ -95,6 +95,16 @@ def _headlines(name: str, data: dict) -> list[str]:
             f"- status throughput: {throughput['requests_per_s']:.0f} req/s "
             f"over {throughput['connections']} connections",
         ]
+    if name == "BENCH_store":
+        rehydrate = data.get("cold_rehydrate_s", {})
+        return [
+            f"- write-behind snapshot overhead: "
+            f"{data['write_behind_overhead']:+.1%} per iteration "
+            f"(inline writes: {data['inline_overhead']:+.1%})",
+            f"- cold rehydration: {_fmt_seconds(rehydrate['best'])} for a "
+            f"{data['checkpoint_bytes'] / 1024:.0f} KiB checkpoint; "
+            f"flush drain {_fmt_seconds(data['flush_drain_s'])}",
+        ]
     if name == "BENCH_frame_cow":
         token = data.get("signature_cost", {}).get("token", {})
         digest = data.get("signature_cost", {}).get("digest", {})

@@ -30,6 +30,7 @@ from repro.session import (
     SessionObserver,
     SessionState,
 )
+from repro.store import DirectorySessionStore, SessionStore
 
 __version__ = "1.0.0"
 
@@ -43,6 +44,8 @@ __all__ = [
     "CometService",
     "CometClient",
     "SessionQuotas",
+    "SessionStore",
+    "DirectorySessionStore",
     "CleaningTrace",
     "Budget",
     "CostModel",

@@ -9,9 +9,12 @@ Examples::
     python -m repro serve --backend thread --jobs 4 < requests.jsonl
     python -m repro serve --port 8765 --workers 4 --max-sessions 8
     python -m repro serve --port 8766 --http
+    python -m repro serve --port 8765 --state-dir /var/lib/repro/sessions
     python -m repro worker --connect 127.0.0.1:9000
     python -m repro worker --listen 0.0.0.0:9001
     python -m repro resume --checkpoint session.ckpt
+    python -m repro sessions list /var/lib/repro/sessions
+    python -m repro sessions migrate old-session.ckpt
 """
 
 from __future__ import annotations
@@ -81,6 +84,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-checkpoint-io", action="store_true",
         help="disable the checkpoint verbs (file write / pickle load at "
              "request-supplied paths) for less-trusted request streams",
+    )
+    srv.add_argument(
+        "--state-dir", default=None,
+        help="durable session store directory: sessions are persisted on "
+             "iteration boundaries and auto-resumed after a restart "
+             "(created if missing; inspect with 'repro sessions')",
     )
     srv.add_argument(
         "--host", default="127.0.0.1",
@@ -161,7 +170,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--save", help="write the finished session back to this checkpoint path"
     )
     res.add_argument("--trace", help="write the final trace as JSON to this path")
+    res.add_argument(
+        "--migrate", action="store_true",
+        help="upgrade old-but-migratable checkpoint versions in memory "
+             "before resuming (the file is left untouched)",
+    )
     _backend_args(res)
+
+    ses = sub.add_parser(
+        "sessions",
+        help="inspect and maintain a durable session state directory "
+             "(the 'serve --state-dir' layout) and migrate old checkpoints",
+    )
+    ssub = ses.add_subparsers(dest="sessions_command", required=True)
+    s_list = ssub.add_parser(
+        "list", help="list every persisted session in a state directory"
+    )
+    s_list.add_argument("state_dir", help="state directory (serve --state-dir)")
+    s_inspect = ssub.add_parser(
+        "inspect",
+        help="print one persisted session's envelope metadata and status",
+    )
+    s_inspect.add_argument("state_dir", help="state directory (serve --state-dir)")
+    s_inspect.add_argument("name", help="session name as shown by 'sessions list'")
+    s_compact = ssub.add_parser(
+        "compact",
+        help="reconcile a state directory: drop leftover tmp files and "
+             "dangling index entries, adopt stray checkpoints",
+    )
+    s_compact.add_argument("state_dir", help="state directory (serve --state-dir)")
+    s_compact.add_argument(
+        "--drop-finished", action="store_true",
+        help="also evict sessions whose last snapshot reported finished",
+    )
+    s_migrate = ssub.add_parser(
+        "migrate",
+        help="rewrite old checkpoint envelopes at the current version "
+             "(a file, or every checkpoint in a state directory)",
+    )
+    s_migrate.add_argument(
+        "target", help="a checkpoint file, or a state directory to sweep"
+    )
+    s_migrate.add_argument(
+        "--out", default=None,
+        help="write the migrated checkpoint here instead of in place "
+             "(single-file mode only)",
+    )
     return parser
 
 
@@ -288,13 +342,31 @@ def _cmd_serve(args: argparse.Namespace, in_stream=None, out_stream=None) -> int
         max_seconds=args.max_seconds,
         max_sessions=args.max_sessions,
     )
+    store = None
+    if args.state_dir is not None:
+        from repro.store import DirectorySessionStore
+
+        store = DirectorySessionStore(args.state_dir)
     with CometService(
         backend=args.backend,
         jobs=args.jobs,
         checkpoint_io=not args.no_checkpoint_io,
         quotas=quotas,
         workers=args.workers,
+        store=store,
     ) as service:
+        if store is not None:
+            resumed = service.resume_persisted()
+            # Parseable, like the readiness line: scripts can assert the
+            # resume happened before driving the restarted service. In
+            # stdio mode stdout carries JSON responses, so it goes to
+            # stderr there.
+            print(
+                f"state dir {args.state_dir}: resumed {len(resumed)} "
+                "persisted session(s)",
+                file=sys.stderr if args.port is None else sys.stdout,
+                flush=True,
+            )
         if args.port is None:
             serve_stream(
                 service,
@@ -355,9 +427,29 @@ def _cmd_worker(args: argparse.Namespace) -> int:
 
 def _cmd_resume(args: argparse.Namespace) -> int:
     """Load a checkpoint, run it to completion, report the trace."""
-    with CleaningSession.load(
-        args.checkpoint, backend=args.backend, jobs=args.jobs
-    ) as session:
+    from repro.session import CheckpointVersionError
+
+    try:
+        session = CleaningSession.load(
+            args.checkpoint,
+            backend=args.backend,
+            jobs=args.jobs,
+            migrate=args.migrate,
+        )
+    except CheckpointVersionError as exc:
+        # A version mismatch is an operator situation, not a crash: say
+        # what was found and — when an upgrade chain exists — how to
+        # move forward, instead of dumping a traceback.
+        print(f"resume: {exc}", file=sys.stderr)
+        if exc.migratable:
+            print(
+                "hint: upgrade it in place with "
+                f"'repro sessions migrate {args.checkpoint}', or re-run "
+                "resume with --migrate to upgrade in memory",
+                file=sys.stderr,
+            )
+        return 1
+    with session:
         done_before = len(session.trace.records) if session.trace else 0
         trace = session.run()
         status = session.status()
@@ -386,6 +478,87 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sessions(args: argparse.Namespace) -> int:
+    """Inspect/maintain a durable state directory; migrate old envelopes."""
+    from pathlib import Path
+
+    from repro.store import DirectorySessionStore, migrate_checkpoint
+
+    if args.sessions_command == "migrate":
+        target = Path(args.target)
+        if target.is_dir():
+            if args.out:
+                print("sessions migrate: --out needs a single checkpoint file",
+                      file=sys.stderr)
+                return 2
+            sessions_dir = target / "sessions"
+            checkpoints = sorted(
+                (sessions_dir if sessions_dir.is_dir() else target).glob("*.ckpt")
+            )
+            if not checkpoints:
+                print(f"no checkpoints found under {target}")
+                return 0
+        else:
+            checkpoints = [target]
+        migrated = 0
+        for checkpoint in checkpoints:
+            summary = migrate_checkpoint(checkpoint, out=args.out)
+            if summary["migrated"]:
+                migrated += 1
+                print(
+                    f"{summary['path']}: v{summary['from_version']} -> "
+                    f"v{summary['to_version']} ({summary['out']})"
+                )
+            else:
+                print(f"{summary['path']}: already v{summary['from_version']}")
+        print(f"migrated {migrated} of {len(checkpoints)} checkpoint(s)")
+        return 0
+
+    state_dir = Path(args.state_dir)
+    if not state_dir.is_dir():
+        print(f"sessions: no state directory at {state_dir}", file=sys.stderr)
+        return 2
+    with DirectorySessionStore(state_dir) as store:
+        if args.sessions_command == "list":
+            names = store.names()
+            if not names:
+                print(f"{state_dir}: no persisted sessions")
+                return 0
+            print(f"{'name':24s} {'ver':>3s} {'iter':>5s} {'finished':>8s} "
+                  f"{'bytes':>9s} {'client':12s}")
+            for name in names:
+                meta = store.meta(name)
+                print(
+                    f"{name:24s} {meta.get('checkpoint_version') or '?':>3} "
+                    f"{meta.get('iteration', '?'):>5} "
+                    f"{str(bool(meta.get('finished'))):>8s} "
+                    f"{meta.get('bytes', 0):>9d} "
+                    f"{str(meta.get('client') or 'local'):12s}"
+                )
+            return 0
+        if args.sessions_command == "inspect":
+            try:
+                meta = store.meta(args.name)
+            except KeyError:
+                print(f"sessions: no persisted session named {args.name!r}",
+                      file=sys.stderr)
+                return 1
+            state = store.load(args.name)
+            print(f"session {args.name!r} in {state_dir}:")
+            for key in sorted(meta):
+                print(f"  {key}: {meta[key]}")
+            print("status:")
+            for key, value in state.status().items():
+                print(f"  {key}: {value}")
+            return 0
+        if args.sessions_command == "compact":
+            summary = store.compact(drop_finished=args.drop_finished)
+            for key, value in summary.items():
+                print(f"{key}: {value}")
+            return 0
+    raise AssertionError(f"unhandled sessions command {args.sessions_command!r}")
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -401,6 +574,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_worker(args)
     if args.command == "resume":
         return _cmd_resume(args)
+    if args.command == "sessions":
+        return _cmd_sessions(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

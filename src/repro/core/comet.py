@@ -109,9 +109,13 @@ class Comet:
         """The underlying :class:`~repro.session.CleaningSession` engine."""
         return self._session
 
-    def save(self, path) -> None:
-        """Checkpoint the session state; resume with :meth:`Comet.load`."""
-        self._session.save(path)
+    def save(self, path, *, meta: dict | None = None) -> None:
+        """Checkpoint the session state; resume with :meth:`Comet.load`.
+
+        ``meta`` extends the checkpoint's envelope header (see
+        :meth:`SessionState.save`).
+        """
+        self._session.save(path, meta=meta)
 
     @classmethod
     def load(
@@ -120,11 +124,16 @@ class Comet:
         *,
         backend: str | ExecutionBackend = "serial",
         jobs: int = 1,
+        migrate: bool = False,
     ) -> "Comet":
-        """Resume a checkpointed session behind the ``Comet`` façade."""
+        """Resume a checkpointed session behind the ``Comet`` façade.
+
+        ``migrate=True`` upgrades old-but-migratable checkpoint versions
+        in memory instead of raising ``CheckpointVersionError``.
+        """
         comet = cls.__new__(cls)
         comet._session = CleaningSession.load(
-            path, backend=backend, jobs=jobs, own_backend=True
+            path, backend=backend, jobs=jobs, own_backend=True, migrate=migrate
         )
         return comet
 

@@ -45,7 +45,8 @@ from repro.ml import fit_cache_stats
 from repro.runtime import ExecutionBackend, make_backend
 from repro.service.quotas import SessionBusyError, SessionQuotas, error_payload
 from repro.service.scheduler import SessionScheduler
-from repro.session import CleaningSession, SessionState
+from repro.session import CleaningSession, SessionObserver, SessionState
+from repro.store import SessionStore
 
 __all__ = ["CometService", "serve_stream", "dispatch_line"]
 
@@ -76,6 +77,43 @@ class _SessionRecord:
     elapsed: float = 0.0
 
 
+@dataclass
+class _StoredMarker:
+    """A cold persisted session, known to the store but not yet live.
+
+    ``serve --state-dir`` registers one per indexed session at startup
+    (:meth:`CometService.resume_persisted`); the first verb that touches
+    the name rehydrates it into a full :class:`_SessionRecord`. Markers
+    hold a quota slot for their client (a persisted session *is* an open
+    session) and carry the persisted wall-clock usage so ``max_seconds``
+    survives restarts.
+    """
+
+    client: str = "local"
+    #: Engine wall-clock already consumed before the restart (seconds).
+    elapsed: float = 0.0
+    #: Serializes racing rehydrations of this one session.
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+class _StorePersistence(SessionObserver):
+    """The write-behind hook: snapshot into the store on every boundary.
+
+    Registered on each live session when the service has a store. The
+    engine fires ``on_iteration`` while the verb handler holds the
+    session's lock, so the snapshot (a synchronous pickle inside
+    ``store.put``) always sees a clean iteration boundary; the file I/O
+    happens on the store's writer thread, off the verb path.
+    """
+
+    def __init__(self, service: "CometService", name: str) -> None:
+        self._service = service
+        self._name = name
+
+    def on_iteration(self, session, records) -> None:  # noqa: D102 — hook
+        self._service._persist(self._name)
+
+
 class CometService:
     """Serve many named cleaning sessions over one shared backend.
 
@@ -100,6 +138,13 @@ class CometService:
         Worker threads of the session scheduler — the number of sweep
         verbs (``recommend``/``step``/``run``) that may run
         concurrently. Must be >= 1.
+    store:
+        Optional :class:`~repro.store.SessionStore` making sessions
+        durable: every live session is snapshotted into the store on
+        clean iteration boundaries (write-behind), cold persisted
+        sessions rehydrate lazily on the first verb that touches them
+        (after :meth:`resume_persisted`), closing a session evicts it,
+        and a graceful :meth:`shutdown` flushes and closes the store.
 
     The service is thread-safe: the session registry is lock-protected
     and each session additionally has its own lock, so handlers for
@@ -117,11 +162,13 @@ class CometService:
         checkpoint_io: bool = True,
         quotas: SessionQuotas | None = None,
         workers: int = 4,
+        store: SessionStore | None = None,
     ) -> None:
         self.backend = make_backend(backend, jobs)
         self.checkpoint_io = checkpoint_io
         self.quotas = quotas or SessionQuotas()
         self.scheduler = SessionScheduler(workers)
+        self.store = store
         self._sessions: dict[str, _SessionRecord] = {}
         self._lock = threading.Lock()
         self._closed = False
@@ -173,16 +220,54 @@ class CometService:
         return self._record(name).session
 
     def names(self) -> list[str]:
-        """Names of all fully registered sessions, sorted."""
+        """Names of all registered sessions, sorted.
+
+        Includes cold persisted sessions (:meth:`resume_persisted`
+        markers) — they answer verbs after a lazy rehydration, so they
+        are part of the service's surface.
+        """
         with self._lock:
             return sorted(
                 n
                 for n, r in self._sessions.items()
-                if isinstance(r, _SessionRecord)
+                if isinstance(r, (_SessionRecord, _StoredMarker))
             )
 
+    def resume_persisted(self) -> list[str]:
+        """Register every session the store knows as lazily resumable.
+
+        Called once after a restart (``serve --state-dir`` does it before
+        accepting requests): each indexed session gets a cold marker
+        under its old name — holding its client's quota slot and its
+        persisted wall-clock usage — and rehydrates on first touch.
+        Returns the newly registered names.
+        """
+        if self.store is None:
+            return []
+        resumed: list[str] = []
+        for name in self.store.names():
+            try:
+                meta = self.store.meta(name)
+            except KeyError:
+                continue  # deleted between names() and meta()
+            with self._lock:
+                if self._closed or name in self._sessions:
+                    continue
+                self._sessions[name] = _StoredMarker(
+                    client=meta.get("client") or "local",
+                    elapsed=float(meta.get("elapsed") or 0.0),
+                )
+            resumed.append(name)
+        return resumed
+
     def close_session(self, name: str) -> None:
-        """Drop a session from the registry (the shared backend stays up)."""
+        """Drop a session from the registry (the shared backend stays up).
+
+        With a store attached, closing also *evicts* the persisted
+        snapshot — a closed session is finished business; checkpoint a
+        copy first (the ``checkpoint`` verb) if you want to keep it.
+        Cold persisted sessions close without being rehydrated.
+        """
         if self.scheduler.running(name):
             raise SessionBusyError(
                 f"session {name!r} has an iteration verb in flight; "
@@ -191,10 +276,13 @@ class CometService:
             )
         with self._lock:
             # Absent, or still being built (a _Reservation): not closable.
-            if not isinstance(self._sessions.get(name), _SessionRecord):
+            record = self._sessions.get(name)
+            if not isinstance(record, (_SessionRecord, _StoredMarker)):
                 raise KeyError(f"no session named {name!r}")
             del self._sessions[name]
         self.scheduler.discard(name)
+        if self.store is not None:
+            self.store.delete(name)
 
     def shutdown(self) -> None:
         """Drop every session, drain in-flight requests, shut the backend.
@@ -204,17 +292,33 @@ class CometService:
         goes down then lets remaining handlers finish their dispatch
         (the drain the backend layer requires). Requests arriving
         afterwards get a "service is shut down" error response.
+
+        With a store attached, every live session gets a final snapshot
+        after the drain (so the store holds the newest boundary even if
+        its write-behind queue lagged), then the store is flushed and
+        closed — the graceful half of the durability story; the crash
+        half is the write-behind persistence itself.
         """
         with self._lock:
             self._closed = True
         self.scheduler.shutdown()
         with self._lock:
-            locks = [
-                r.lock
-                for r in self._sessions.values()
+            records = {
+                n: r
+                for n, r in self._sessions.items()
                 if isinstance(r, _SessionRecord)
-            ]
+            }
             self._sessions.clear()
+        if self.store is not None:
+            for name, record in records.items():
+                with record.lock:
+                    try:
+                        self._persist(name, record)
+                    except RuntimeError:
+                        break  # store already closed externally
+            self.store.flush()
+            self.store.close()
+        locks = [r.lock for r in records.values()]
         for lock in locks:
             lock.acquire()
         try:
@@ -257,16 +361,82 @@ class CometService:
             with self._lock:
                 self._sessions.pop(name, None)
             raise
+        record = _SessionRecord(session=session, client=client)
+        if self.store is not None:
+            session.add_observer(_StorePersistence(self, name))
+            # Persist the newborn session too: a crash before its first
+            # iteration must not lose the creation.
+            self._persist(name, record)
         with self._lock:
-            self._sessions[name] = _SessionRecord(session=session, client=client)
+            self._sessions[name] = record
         return session
 
     def _record(self, name: str) -> _SessionRecord:
         with self._lock:
             record = self._sessions.get(name)
-        if not isinstance(record, _SessionRecord):
-            raise KeyError(f"no session named {name!r}")
-        return record
+        if isinstance(record, _SessionRecord):
+            return record
+        if isinstance(record, _StoredMarker):
+            return self._rehydrate(name, record)
+        raise KeyError(f"no session named {name!r}")
+
+    def _rehydrate(self, name: str, marker: _StoredMarker) -> _SessionRecord:
+        """Turn a cold persisted session into a live one (first touch).
+
+        The marker's lock serializes racing first touches: the winner
+        loads the state from the store and swaps in a full record; the
+        losers find that record when they re-check the registry.
+        """
+        with marker.lock:
+            with self._lock:
+                current = self._sessions.get(name)
+            if isinstance(current, _SessionRecord):
+                return current
+            if current is not marker or self.store is None:
+                raise KeyError(f"no session named {name!r}")
+            state = self.store.load(name)
+            session = CleaningSession(
+                state, backend=self.backend, own_backend=False
+            )
+            session.add_observer(_StorePersistence(self, name))
+            record = _SessionRecord(
+                session=session, client=marker.client, elapsed=marker.elapsed
+            )
+            with self._lock:
+                self._sessions[name] = record
+            return record
+
+    def _persist(self, name: str, record: _SessionRecord | None = None) -> None:
+        """Snapshot one session into the store (callers hold its lock).
+
+        The envelope metadata carries the quota ledger (iterations,
+        engine wall-clock, owning client) and the backend fingerprint,
+        so a restarted service resumes enforcement where it left off and
+        operators can see what produced a checkpoint.
+        """
+        if self.store is None:
+            return
+        if record is None:
+            with self._lock:
+                candidate = self._sessions.get(name)
+            if not isinstance(candidate, _SessionRecord):
+                return  # closed while the snapshot was in flight
+            record = candidate
+        state = record.session.state
+        self.store.put(
+            name,
+            state,
+            meta={
+                "client": record.client,
+                "iteration": state.iteration,
+                "elapsed": round(record.elapsed, 6),
+                "finished": state.is_finished,
+                "backend": {
+                    "name": self.backend.name,
+                    "workers": self.backend.workers,
+                },
+            },
+        )
 
     # ------------------------------------------------------------------ #
     # JSON request/response API
@@ -492,6 +662,8 @@ class CometService:
             backend_stats = getattr(self.backend, "stats", None)
             if callable(backend_stats):
                 payload["backend_stats"] = backend_stats()
+            if self.store is not None:
+                payload["store"] = self.store.stats()
             return payload
         record = self._record(name)
         running = self.scheduler.running(name)

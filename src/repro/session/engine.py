@@ -229,19 +229,29 @@ class CleaningSession:
         jobs: int = 1,
         observers=(),
         own_backend: bool | None = None,
+        migrate: bool = False,
     ) -> "CleaningSession":
-        """Resume a checkpoint written by :meth:`save`."""
+        """Resume a checkpoint written by :meth:`save`.
+
+        ``migrate=True`` upgrades old-but-migratable envelope versions
+        in memory (see :mod:`repro.store.migrate`) instead of raising
+        :class:`~repro.session.CheckpointVersionError`.
+        """
         return cls(
-            SessionState.load(path),
+            SessionState.load(path, migrate=migrate),
             backend=backend,
             jobs=jobs,
             observers=observers,
             own_backend=own_backend,
         )
 
-    def save(self, path) -> None:
-        """Checkpoint the session state (resumable at iteration boundaries)."""
-        self.state.save(path)
+    def save(self, path, *, meta: dict | None = None) -> None:
+        """Checkpoint the session state (resumable at iteration boundaries).
+
+        ``meta`` extends the checkpoint's envelope header (see
+        :meth:`SessionState.save`).
+        """
+        self.state.save(path, meta=meta)
 
     # ------------------------------------------------------------------ #
     # observers

@@ -23,12 +23,24 @@ bit-identical.
 
 Checkpoints are a versioned envelope around the pickled state, so future
 format changes can be detected (and migrated) instead of failing
-obscurely.
+obscurely. Version 2 (the current layout) writes two consecutive pickles
+— a small JSON-friendly *header* (``{"format", "version", "meta"}``)
+followed by the state — so tooling can read a checkpoint's metadata
+without unpickling the (potentially large) state. Version 1 was a single
+pickled dict with the state inline; the migration registry in
+:mod:`repro.store.migrate` upgrades it on load. All checkpoint writes are
+atomic: the bytes land in a temporary sibling file that is fsynced and
+``os.replace``d over the target, so a crash mid-write can never leave a
+truncated checkpoint behind.
 """
 
 from __future__ import annotations
 
+import io
+import itertools
+import os
 import pickle
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
@@ -48,31 +60,55 @@ __all__ = [
     "CheckpointVersionError",
     "CHECKPOINT_FORMAT",
     "CHECKPOINT_VERSION",
+    "checkpoint_meta",
+    "encode_checkpoint",
+    "decode_checkpoint",
+    "write_checkpoint",
+    "read_checkpoint",
+    "read_checkpoint_meta",
+    "atomic_write_bytes",
 ]
 
 #: Identifies a file as a repro session checkpoint.
 CHECKPOINT_FORMAT = "repro.session.checkpoint"
 #: Bump when the state layout changes incompatibly.
-CHECKPOINT_VERSION = 1
+CHECKPOINT_VERSION = 2
+
+_TMP_COUNTER = itertools.count()
 
 
 class CheckpointVersionError(ValueError):
     """A checkpoint's format version does not match this build's.
 
     Subclasses ``ValueError`` so existing ``except ValueError`` callers
-    keep working, but exposes both versions as attributes so tooling
-    (and future migration code) can branch on them instead of parsing
-    the message.
+    keep working, but exposes both versions as attributes so tooling can
+    branch on them instead of parsing the message. ``migratable`` is
+    True when the :mod:`repro.store.migrate` registry holds an upgrade
+    chain from ``found`` to ``supported`` — load with ``migrate=True``
+    (or run ``repro sessions migrate <path>``) instead of giving up.
     """
 
-    def __init__(self, path, found, supported: int = CHECKPOINT_VERSION) -> None:
+    def __init__(
+        self,
+        path,
+        found,
+        supported: int = CHECKPOINT_VERSION,
+        migratable: bool = False,
+    ) -> None:
         self.path = str(path)
         self.found = found
         self.supported = supported
-        super().__init__(
+        self.migratable = migratable
+        message = (
             f"{path}: checkpoint version {found!r} is not supported "
             f"(this build reads version {supported})"
         )
+        if migratable:
+            message += (
+                "; a migration path exists — run "
+                f"'repro sessions migrate {path}' or load with migrate=True"
+            )
+        super().__init__(message)
 
 
 @dataclass
@@ -159,44 +195,190 @@ class SessionState:
     # ------------------------------------------------------------------ #
     # versioned checkpoints
     # ------------------------------------------------------------------ #
-    def save(self, path: str | Path) -> None:
+    def save(self, path: str | Path, *, meta: dict | None = None) -> None:
         """Write a versioned checkpoint; ``load`` resumes bit-identically.
+
+        The write is atomic (temporary sibling file + fsync +
+        ``os.replace``), so a crash mid-checkpoint leaves either the
+        previous complete checkpoint or the new one — never a truncated
+        pickle. ``meta`` extends the envelope header (the
+        :class:`~repro.store.DirectorySessionStore` records quota usage
+        and the backend fingerprint there).
 
         Checkpoints are pickles: like any pickle, they can execute code
         on load, so :meth:`load` must only be pointed at files from a
         trusted source (your own ``save`` output). The envelope check
         catches mistakes, not malice.
         """
-        envelope = {
-            "format": CHECKPOINT_FORMAT,
-            "version": CHECKPOINT_VERSION,
-            "state": self,
-        }
-        with open(path, "wb") as fh:
-            pickle.dump(envelope, fh)
+        write_checkpoint(path, self, meta=meta)
 
     @classmethod
-    def load(cls, path: str | Path) -> "SessionState":
+    def load(cls, path: str | Path, *, migrate: bool = False) -> "SessionState":
         """Read a checkpoint written by :meth:`save`.
 
         Raises ``ValueError`` for files that are not session checkpoints
         and :class:`CheckpointVersionError` (a ``ValueError`` subclass
-        naming both versions) for checkpoints written by a different,
-        unknown format version. **Trusted
+        naming both versions plus ``migratable``) for checkpoints written
+        by a different format version. With ``migrate=True``, checkpoints
+        whose version has a registered upgrade chain
+        (:mod:`repro.store.migrate`) are migrated in memory instead —
+        e.g. version-1 checkpoints written by earlier builds. **Trusted
         input only**: this unpickles the file, so the path must come from
         the operator, never from an untrusted request.
         """
-        with open(path, "rb") as fh:
-            envelope = pickle.load(fh)
-        if (
-            not isinstance(envelope, dict)
-            or envelope.get("format") != CHECKPOINT_FORMAT
-        ):
-            raise ValueError(f"{path}: not a repro session checkpoint")
+        envelope = read_checkpoint(path)
         version = envelope.get("version")
         if version != CHECKPOINT_VERSION:
-            raise CheckpointVersionError(path, version)
-        state = envelope["state"]
+            from repro.store.migrate import can_migrate, migrate_envelope
+
+            if not (migrate and can_migrate(version)):
+                raise CheckpointVersionError(
+                    path, version, migratable=can_migrate(version)
+                )
+            envelope = migrate_envelope(envelope, path=path)
+        state = envelope.get("state")
         if not isinstance(state, cls):
             raise ValueError(f"{path}: checkpoint does not contain a SessionState")
         return state
+
+
+# ---------------------------------------------------------------------- #
+# checkpoint envelope I/O (shared with repro.store)
+# ---------------------------------------------------------------------- #
+def checkpoint_meta(meta: dict | None = None) -> dict:
+    """The envelope header metadata for a checkpoint written *now*.
+
+    Stamps creation/update times and merges ``meta`` over the defaults;
+    callers that rewrite an existing checkpoint pass the previous
+    ``created`` through ``meta`` to preserve it.
+    """
+    now = time.time()
+    merged = {"created": now, "updated": now}
+    if meta:
+        merged.update(meta)
+        merged["updated"] = now
+    return merged
+
+
+def encode_checkpoint(state: SessionState, meta: dict | None = None) -> bytes:
+    """Serialize a checkpoint to bytes (header pickle + state pickle).
+
+    The returned bytes are exactly a checkpoint file's content, which is
+    what lets the session store snapshot a live state synchronously (on
+    the iteration boundary, under the session lock) and defer only the
+    file I/O to its write-behind thread.
+    """
+    header = {
+        "format": CHECKPOINT_FORMAT,
+        "version": CHECKPOINT_VERSION,
+        "meta": checkpoint_meta(meta),
+    }
+    return pickle.dumps(header) + pickle.dumps(state)
+
+
+def decode_checkpoint(data: bytes, source: str = "<bytes>") -> dict:
+    """Decode checkpoint bytes into a normalized envelope dict.
+
+    Returns ``{"format", "version", "meta", "state"}`` regardless of the
+    on-disk layout version (v1 stored everything in one pickled dict;
+    v2+ stores a header pickle followed by the state pickle). Unpickles
+    the data — trusted input only.
+    """
+    buffer = io.BytesIO(data)
+    first = pickle.load(buffer)
+    if not isinstance(first, dict) or first.get("format") != CHECKPOINT_FORMAT:
+        raise ValueError(f"{source}: not a repro session checkpoint")
+    if "state" in first:  # version-1 layout: one pickle, state inline
+        return {
+            "format": CHECKPOINT_FORMAT,
+            "version": first.get("version"),
+            "meta": dict(first.get("meta") or {}),
+            "state": first["state"],
+        }
+    envelope = {
+        "format": CHECKPOINT_FORMAT,
+        "version": first.get("version"),
+        "meta": dict(first.get("meta") or {}),
+        "state": None,
+    }
+    try:
+        envelope["state"] = pickle.load(buffer)
+    except EOFError:
+        raise ValueError(f"{source}: checkpoint is truncated (no state pickle)")
+    return envelope
+
+
+def read_checkpoint(path: str | Path) -> dict:
+    """Read a checkpoint file into a normalized envelope dict."""
+    with open(path, "rb") as fh:
+        data = fh.read()
+    return decode_checkpoint(data, source=str(path))
+
+
+def read_checkpoint_meta(path: str | Path) -> dict:
+    """Read only a checkpoint's header (no state unpickle for v2+ files).
+
+    Returns ``{"format", "version", "meta"}``. Version-1 files have no
+    separate header, so reading their metadata still unpickles the whole
+    envelope.
+    """
+    with open(path, "rb") as fh:
+        first = pickle.load(fh)
+    if not isinstance(first, dict) or first.get("format") != CHECKPOINT_FORMAT:
+        raise ValueError(f"{path}: not a repro session checkpoint")
+    return {
+        "format": CHECKPOINT_FORMAT,
+        "version": first.get("version"),
+        "meta": dict(first.get("meta") or {}),
+    }
+
+
+def atomic_write_bytes(path: str | Path, data: bytes, *, fsync: bool = True) -> None:
+    """Write ``data`` to ``path`` atomically (tmp sibling + ``os.replace``).
+
+    With ``fsync`` (the default) the bytes are forced to disk before the
+    rename, and the directory entry is fsynced after it where the
+    platform allows — the durability discipline of the session store's
+    index. A crash at any point leaves either the old complete file or
+    the new one.
+    """
+    path = Path(path)
+    tmp = path.with_name(
+        f"{path.name}.tmp-{os.getpid()}-{next(_TMP_COUNTER)}"
+    )
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            if fsync:
+                fh.flush()
+                os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    if fsync:
+        try:  # directory fsync is POSIX-only best effort
+            dir_fd = os.open(path.parent, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(dir_fd)
+        except OSError:
+            pass
+        finally:
+            os.close(dir_fd)
+
+
+def write_checkpoint(
+    path: str | Path, state: SessionState, meta: dict | None = None
+) -> int:
+    """Atomically write a version-:data:`CHECKPOINT_VERSION` checkpoint.
+
+    Returns the byte size of the written envelope.
+    """
+    data = encode_checkpoint(state, meta)
+    atomic_write_bytes(path, data)
+    return len(data)

@@ -1,0 +1,40 @@
+"""Durable session store: checkpoint persistence behind the service.
+
+Three pieces:
+
+- :class:`SessionStore` — the pluggable persistence interface the
+  service talks to (snapshot on iteration boundaries, lazy rehydration,
+  eviction on close);
+- :class:`DirectorySessionStore` — the filesystem implementation:
+  write-behind versioned checkpoint envelopes with atomic tmp+rename
+  writes and a crash-safe JSON index (``serve --state-dir`` builds one);
+- :mod:`repro.store.migrate` — the versioned envelope-migration
+  registry, so a ``CHECKPOINT_VERSION`` bump upgrades old checkpoints
+  instead of stranding them.
+
+The determinism contract survives the store: a session rehydrated after
+a hard kill replays to a trace bit-identical to one that never
+restarted.
+"""
+
+from repro.store.base import SessionStore
+from repro.store.directory import DirectorySessionStore
+from repro.store.migrate import (
+    can_migrate,
+    migrate_checkpoint,
+    migrate_envelope,
+    migration_chain,
+    register_migration,
+    registered_migrations,
+)
+
+__all__ = [
+    "SessionStore",
+    "DirectorySessionStore",
+    "register_migration",
+    "registered_migrations",
+    "migration_chain",
+    "can_migrate",
+    "migrate_envelope",
+    "migrate_checkpoint",
+]

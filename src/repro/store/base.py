@@ -1,0 +1,85 @@
+"""The pluggable session-store interface.
+
+A :class:`SessionStore` is the durability layer under
+:class:`~repro.service.CometService`: the service snapshots each session
+into the store on clean iteration boundaries (write-behind — the
+snapshot is taken synchronously under the session lock, the I/O happens
+off the verb path), rehydrates cold sessions lazily on the first verb
+that touches them, and evicts sessions when they are closed. Any
+implementation that honors this contract can back the service;
+:class:`~repro.store.DirectorySessionStore` is the filesystem one.
+
+The determinism contract extends through the store: ``put`` must
+preserve the state byte-for-byte (it snapshots the same pickled envelope
+a checkpoint file carries), so a session rehydrated after a crash
+replays exactly the trace an uninterrupted run would have produced.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.session.state import SessionState
+
+__all__ = ["SessionStore"]
+
+
+class SessionStore(ABC):
+    """Persist named session states across service restarts.
+
+    Implementations must be thread-safe: the service calls ``put`` from
+    scheduler workers (under per-session locks), ``load``/``delete``
+    from transport threads, and ``stats`` from any of them.
+    """
+
+    @abstractmethod
+    def put(self, name: str, state: SessionState, meta: dict | None = None) -> None:
+        """Persist a snapshot of ``state`` under ``name``.
+
+        Must capture the snapshot *before returning* (the caller holds
+        the session lock only for the duration of the call); the actual
+        I/O may be deferred. ``meta`` is envelope metadata — quota
+        usage, client identity, backend fingerprint.
+        """
+
+    @abstractmethod
+    def load(self, name: str) -> SessionState:
+        """Rehydrate the newest persisted snapshot of ``name``.
+
+        Raises ``KeyError`` for unknown names. Implementations must
+        return the latest ``put`` snapshot even if its I/O is still
+        pending (flush first or serve from the pending buffer).
+        """
+
+    @abstractmethod
+    def meta(self, name: str) -> dict:
+        """The metadata recorded with ``name``'s newest snapshot."""
+
+    @abstractmethod
+    def delete(self, name: str) -> None:
+        """Evict ``name`` (no-op if absent) — the ``close`` verb's hook."""
+
+    @abstractmethod
+    def names(self) -> list[str]:
+        """Sorted names of every persisted session."""
+
+    @abstractmethod
+    def flush(self) -> None:
+        """Block until every pending write has reached durable storage."""
+
+    @abstractmethod
+    def stats(self) -> dict:
+        """JSON-friendly store counters for the ``status`` verb."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Flush and release resources (idempotent)."""
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.names()
+
+    def __enter__(self) -> "SessionStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

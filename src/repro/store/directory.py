@@ -1,0 +1,448 @@
+"""Filesystem session store: write-behind checkpoints + crash-safe index.
+
+Layout of a state directory::
+
+    <root>/
+        index.json             # crash-safe JSON index of every session
+        sessions/<name>-<h>.ckpt   # one versioned checkpoint envelope each
+
+Durability discipline: every file lands via atomic tmp+``os.replace``
+writes with fsync (:func:`repro.session.state.atomic_write_bytes`), and
+the index is rewritten *after* the checkpoint it references — so at any
+crash point the directory holds only complete checkpoint envelopes, and
+the index is either current or conservatively stale (a newer checkpoint
+than it records, never a dangling reference to a half-written one). A
+missing or unreadable index is rebuilt by scanning ``sessions/``.
+
+Write-behind: ``put`` snapshots the state *synchronously* (pickling
+under the caller's session lock — the part that must see a consistent
+iteration boundary) and hands the bytes to a single writer thread that
+performs the file and index I/O. Snapshots for the same session coalesce:
+if iteration N+1 is snapshotted before iteration N reached disk, N is
+dropped (counted in ``stats()["coalesced_writes"]``) — the store always
+converges on the newest boundary. ``flush()`` blocks until the queue is
+empty; ``abort()`` drops it, simulating a crash for tests.
+
+Checkpoints of any migratable envelope version rehydrate: ``load`` runs
+old envelopes through :mod:`repro.store.migrate`, so a directory written
+by a version-1 build keeps working after an upgrade.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.session.state import (
+    CHECKPOINT_VERSION,
+    SessionState,
+    atomic_write_bytes,
+    checkpoint_meta,
+    decode_checkpoint,
+    encode_checkpoint,
+    read_checkpoint_meta,
+)
+from repro.store.base import SessionStore
+from repro.store.migrate import migrate_envelope
+
+__all__ = ["DirectorySessionStore"]
+
+#: Identifies a file as a repro session-store index.
+INDEX_FORMAT = "repro.store.index"
+INDEX_VERSION = 1
+
+
+@dataclass
+class _Pending:
+    """One not-yet-written snapshot (the write-behind queue entry)."""
+
+    data: bytes
+    meta: dict
+    enqueued: float
+
+
+class DirectorySessionStore(SessionStore):
+    """Persist sessions as checkpoint files under one state directory.
+
+    Parameters
+    ----------
+    root:
+        The state directory (created if missing, including parents).
+    write_behind:
+        With the default ``True``, ``put`` returns after snapshotting
+        and a writer thread performs the I/O; ``False`` writes inline
+        (simpler latency profile for benchmark baselines and tests).
+    fsync:
+        Whether checkpoint and index writes fsync before renaming.
+        Disable only where durability does not matter (benchmarks on
+        tmpfs); the crash-safety story assumes it is on.
+    """
+
+    def __init__(
+        self, root, *, write_behind: bool = True, fsync: bool = True
+    ) -> None:
+        self.root = Path(root)
+        self.sessions_dir = self.root / "sessions"
+        self.sessions_dir.mkdir(parents=True, exist_ok=True)
+        self._fsync = fsync
+        self._write_behind = write_behind
+        self._cv = threading.Condition()
+        self._pending: dict[str, _Pending] = {}
+        self._writing: str | None = None
+        self._stopping = False
+        self._aborted = False
+        self._counters = {
+            "writes": 0,
+            "bytes_written": 0,
+            "coalesced_writes": 0,
+            "rehydrations": 0,
+            "migrations": 0,
+            "write_errors": 0,
+        }
+        self._last_error: str | None = None
+        self._last_write_s = 0.0
+        self._index: dict[str, dict] = self._load_index()
+        self._writer: threading.Thread | None = None
+        if write_behind:
+            self._writer = threading.Thread(
+                target=self._writer_loop,
+                name=f"repro-store-writer:{self.root.name}",
+                daemon=True,
+            )
+            self._writer.start()
+
+    # ------------------------------------------------------------------ #
+    # SessionStore contract
+    # ------------------------------------------------------------------ #
+    def put(self, name: str, state: SessionState, meta: dict | None = None) -> None:
+        """Snapshot ``state`` now; write it behind (or inline).
+
+        The pickle happens in the caller's thread — that is the
+        consistency point, so callers invoke ``put`` on clean iteration
+        boundaries while holding the session's lock.
+        """
+        meta = dict(meta or {})
+        meta["name"] = name
+        with self._cv:
+            self._require_open()
+            existing = self._index.get(name) or {}
+            pending = self._pending.get(name)
+            previous = pending.meta if pending is not None else existing
+            if "created" in previous:
+                meta.setdefault("created", previous["created"])
+        # Stamp timestamps here so the index records exactly what the
+        # envelope header carries (encode_checkpoint preserves them).
+        meta = checkpoint_meta(meta)
+        data = encode_checkpoint(state, meta)
+        if not self._write_behind:
+            self._write(name, _Pending(data, meta, time.monotonic()))
+            return
+        with self._cv:
+            self._require_open()
+            if name in self._pending:
+                self._counters["coalesced_writes"] += 1
+            self._pending[name] = _Pending(data, meta, time.monotonic())
+            self._cv.notify_all()
+
+    def load(self, name: str) -> SessionState:
+        """Rehydrate the newest snapshot (pending bytes beat the disk)."""
+        with self._cv:
+            pending = self._pending.get(name)
+            if pending is not None:
+                data = pending.data
+                source = f"<pending:{name}>"
+            else:
+                entry = self._index.get(name)
+                if entry is None:
+                    raise KeyError(f"no persisted session named {name!r}")
+                path = self.sessions_dir / entry["file"]
+                data = None
+                source = str(path)
+        if data is None:
+            with open(path, "rb") as fh:
+                data = fh.read()
+        envelope = decode_checkpoint(data, source=source)
+        if envelope.get("version") != CHECKPOINT_VERSION:
+            envelope = migrate_envelope(envelope, path=source)
+            with self._cv:
+                self._counters["migrations"] += 1
+        state = envelope.get("state")
+        if not isinstance(state, SessionState):
+            raise ValueError(f"{source}: checkpoint does not contain a SessionState")
+        with self._cv:
+            self._counters["rehydrations"] += 1
+        return state
+
+    def meta(self, name: str) -> dict:
+        """Newest metadata for ``name`` (pending snapshot or index)."""
+        with self._cv:
+            pending = self._pending.get(name)
+            if pending is not None:
+                return dict(pending.meta)
+            entry = self._index.get(name)
+            if entry is None:
+                raise KeyError(f"no persisted session named {name!r}")
+            return {k: v for k, v in entry.items() if k != "file"}
+
+    def delete(self, name: str) -> None:
+        """Evict ``name``: drop pending writes, the file, the index entry."""
+        with self._cv:
+            self._pending.pop(name, None)
+            while self._writing == name:
+                self._cv.wait()
+            entry = self._index.pop(name, None)
+            if entry is not None:
+                path = self.sessions_dir / entry["file"]
+                self._write_index_locked()
+        if entry is not None:
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass
+
+    def names(self) -> list[str]:
+        with self._cv:
+            return sorted(set(self._index) | set(self._pending))
+
+    def __contains__(self, name: str) -> bool:
+        with self._cv:
+            return name in self._index or name in self._pending
+
+    def flush(self) -> None:
+        """Block until the write-behind queue has fully drained."""
+        with self._cv:
+            while (self._pending or self._writing is not None) and not self._aborted:
+                if self._writer is not None and not self._writer.is_alive():
+                    break
+                self._cv.wait(timeout=0.05)
+
+    def stats(self) -> dict:
+        """Store counters for the service-level ``status`` verb."""
+        with self._cv:
+            lag = 0.0
+            if self._pending:
+                now = time.monotonic()
+                lag = max(now - p.enqueued for p in self._pending.values())
+            return {
+                "root": str(self.root),
+                "persisted_sessions": len(self._index),
+                "bytes": sum(e.get("bytes", 0) for e in self._index.values()),
+                "pending_writes": len(self._pending),
+                "write_behind_lag_s": round(lag, 6),
+                "last_write_s": round(self._last_write_s, 6),
+                "last_error": self._last_error,
+                **self._counters,
+            }
+
+    def close(self) -> None:
+        """Flush pending writes, stop the writer thread (idempotent)."""
+        with self._cv:
+            if self._stopping:
+                return
+            self._stopping = True
+            self._cv.notify_all()
+        if self._writer is not None:
+            self._writer.join()
+            self._writer = None
+
+    def abort(self) -> None:
+        """Simulate a crash: drop pending writes, stop without flushing.
+
+        What a SIGKILL would do to the write-behind queue — tests use it
+        to exercise the "resume from the last *persisted* boundary"
+        contract without spawning processes. The store is unusable
+        afterwards.
+        """
+        with self._cv:
+            self._aborted = True
+            self._stopping = True
+            self._pending.clear()
+            self._cv.notify_all()
+        if self._writer is not None:
+            self._writer.join()
+            self._writer = None
+
+    # ------------------------------------------------------------------ #
+    # maintenance
+    # ------------------------------------------------------------------ #
+    def compact(self, drop_finished: bool = False) -> dict:
+        """Reconcile the directory: adopt strays, drop garbage, slim down.
+
+        - deletes leftover ``*.tmp-*`` files from interrupted writes;
+        - drops index entries whose checkpoint file vanished;
+        - adopts checkpoint files the index does not know (e.g. copied
+          in by an operator) under the name recorded in their envelope;
+        - with ``drop_finished``, evicts sessions whose last snapshot
+          reported ``finished`` (their trace is complete — keep a copy
+          elsewhere if you need the history).
+
+        Returns a summary of what changed.
+        """
+        self.flush()
+        summary = {
+            "tmp_removed": 0,
+            "entries_dropped": 0,
+            "adopted": 0,
+            "finished_dropped": 0,
+        }
+        for directory in (self.root, self.sessions_dir):
+            for stray in directory.iterdir():
+                if stray.is_file() and ".tmp-" in stray.name:
+                    stray.unlink(missing_ok=True)
+                    summary["tmp_removed"] += 1
+        with self._cv:
+            known_files = {e["file"] for e in self._index.values()}
+            for name in list(self._index):
+                if not (self.sessions_dir / self._index[name]["file"]).exists():
+                    del self._index[name]
+                    summary["entries_dropped"] += 1
+            for path in sorted(self.sessions_dir.glob("*.ckpt")):
+                if path.name in known_files:
+                    continue
+                entry = self._entry_from_file(path)
+                if entry is not None:
+                    name = entry.pop("name_key")
+                    self._index.setdefault(name, entry)
+                    summary["adopted"] += 1
+            self._write_index_locked()
+        if drop_finished:
+            for name in self.names():
+                try:
+                    finished = self.meta(name).get("finished")
+                except KeyError:
+                    continue
+                if finished:
+                    self.delete(name)
+                    summary["finished_dropped"] += 1
+        return summary
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _require_open(self) -> None:
+        if self._stopping:
+            raise RuntimeError(f"session store at {self.root} is closed")
+
+    def _filename(self, name: str) -> str:
+        slug = re.sub(r"[^A-Za-z0-9._-]+", "_", name)[:40] or "session"
+        digest = hashlib.sha1(name.encode()).hexdigest()[:8]
+        return f"{slug}-{digest}.ckpt"
+
+    def _writer_loop(self) -> None:
+        while True:
+            with self._cv:
+                while not self._pending and not self._stopping:
+                    self._cv.wait()
+                if self._aborted or (self._stopping and not self._pending):
+                    return
+                name = next(iter(self._pending))
+                item = self._pending.pop(name)
+                self._writing = name
+            try:
+                self._write(name, item)
+            finally:
+                with self._cv:
+                    self._writing = None
+                    self._cv.notify_all()
+
+    def _write(self, name: str, item: _Pending) -> None:
+        """One checkpoint write + index update (writer thread, or inline)."""
+        started = time.monotonic()
+        filename = self._filename(name)
+        try:
+            atomic_write_bytes(
+                self.sessions_dir / filename, item.data, fsync=self._fsync
+            )
+        except OSError as exc:
+            with self._cv:
+                self._counters["write_errors"] += 1
+                self._last_error = f"{type(exc).__name__}: {exc}"
+            return
+        entry = {
+            "file": filename,
+            "bytes": len(item.data),
+            "checkpoint_version": CHECKPOINT_VERSION,
+            **_json_safe(item.meta),
+        }
+        with self._cv:
+            self._index[name] = entry
+            self._counters["writes"] += 1
+            self._counters["bytes_written"] += len(item.data)
+            self._last_write_s = time.monotonic() - started
+            self._write_index_locked()
+
+    def _write_index_locked(self) -> None:
+        """Rewrite ``index.json`` (callers hold the lock)."""
+        document = {
+            "format": INDEX_FORMAT,
+            "version": INDEX_VERSION,
+            "sessions": self._index,
+        }
+        data = json.dumps(document, indent=2, sort_keys=True).encode()
+        try:
+            atomic_write_bytes(self.root / "index.json", data, fsync=self._fsync)
+        except OSError as exc:
+            self._counters["write_errors"] += 1
+            self._last_error = f"{type(exc).__name__}: {exc}"
+
+    def _load_index(self) -> dict[str, dict]:
+        """Read ``index.json``; rebuild from a directory scan if unusable.
+
+        The rebuild path is the crash-recovery story for a lost index: a
+        checkpoint file's envelope header records its session name, so
+        the directory alone is enough to reconstruct the listing.
+        """
+        path = self.root / "index.json"
+        try:
+            document = json.loads(path.read_text())
+            if (
+                isinstance(document, dict)
+                and document.get("format") == INDEX_FORMAT
+                and isinstance(document.get("sessions"), dict)
+            ):
+                return dict(document["sessions"])
+        except FileNotFoundError:
+            if not any(self.sessions_dir.glob("*.ckpt")):
+                return {}
+        except (json.JSONDecodeError, OSError):
+            pass
+        index: dict[str, dict] = {}
+        for ckpt in sorted(self.sessions_dir.glob("*.ckpt")):
+            entry = self._entry_from_file(ckpt)
+            if entry is not None:
+                index[entry.pop("name_key")] = entry
+        self._index = index
+        with self._cv:
+            self._write_index_locked()
+        return index
+
+    def _entry_from_file(self, path: Path) -> dict | None:
+        """An index entry rebuilt from one checkpoint file (None if bad)."""
+        try:
+            header = read_checkpoint_meta(path)
+        except Exception:  # noqa: BLE001 — a foreign file is not an entry
+            return None
+        meta = header.get("meta") or {}
+        return {
+            "name_key": meta.get("name") or path.stem,
+            "file": path.name,
+            "bytes": path.stat().st_size,
+            "checkpoint_version": header.get("version"),
+            **_json_safe(meta),
+        }
+
+
+def _json_safe(meta: dict) -> dict:
+    """Drop metadata values json cannot carry (the index is JSON)."""
+    safe = {}
+    for key, value in meta.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            safe[key] = value
+        elif isinstance(value, dict):
+            safe[key] = _json_safe(value)
+    return safe

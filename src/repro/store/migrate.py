@@ -1,0 +1,185 @@
+"""Versioned checkpoint migrations: load old envelopes instead of failing.
+
+A ``CHECKPOINT_VERSION`` bump used to strand every existing checkpoint —
+:class:`~repro.session.CheckpointVersionError` told you *what* was wrong
+with no way forward. This module is the way forward: a registry of
+single-step upgrade functions (``from_version → to_version``) that are
+chained until an old envelope reaches the current version. Loading with
+``SessionState.load(path, migrate=True)`` (what the session store does
+for every rehydration) applies the chain in memory; ``repro sessions
+migrate <path>`` rewrites the file in the current format.
+
+Each migration receives and returns a *normalized envelope dict*
+(``{"format", "version", "meta", "state"}`` — see
+:func:`repro.session.state.decode_checkpoint`) and must advance
+``version``. The v1→v2 step below is the template: v1 envelopes were a
+single pickle with no metadata, so it synthesizes the v2 header
+(timestamps, empty quota usage, a ``migrated_from`` marker) around the
+untouched state — the resumed trace is bit-identical because the state
+bytes never change, only the envelope around them.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Callable
+
+from repro.session.state import (
+    CHECKPOINT_FORMAT,
+    CHECKPOINT_VERSION,
+    CheckpointVersionError,
+    read_checkpoint,
+    write_checkpoint,
+)
+
+__all__ = [
+    "register_migration",
+    "registered_migrations",
+    "can_migrate",
+    "migration_chain",
+    "migrate_envelope",
+    "migrate_checkpoint",
+]
+
+#: from_version → (to_version, upgrade function).
+_MIGRATIONS: dict[int, tuple[int, Callable[[dict], dict]]] = {}
+
+
+def register_migration(from_version: int, to_version: int):
+    """Register an envelope upgrade step (decorator).
+
+    ``to_version`` must be greater than ``from_version`` (chains only
+    move forward); registering a second migration for the same
+    ``from_version`` is an error — there is one canonical upgrade path.
+    """
+    if to_version <= from_version:
+        raise ValueError(
+            f"migration must move forward, got {from_version} -> {to_version}"
+        )
+
+    def decorator(fn: Callable[[dict], dict]) -> Callable[[dict], dict]:
+        if from_version in _MIGRATIONS:
+            raise ValueError(
+                f"a migration from version {from_version} is already registered"
+            )
+        _MIGRATIONS[from_version] = (to_version, fn)
+        return fn
+
+    return decorator
+
+
+def registered_migrations() -> dict[int, int]:
+    """``from_version → to_version`` for every registered step."""
+    return {src: dst for src, (dst, _) in _MIGRATIONS.items()}
+
+
+def migration_chain(
+    found, target: int = CHECKPOINT_VERSION
+) -> list[tuple[int, int]] | None:
+    """The (from, to) steps upgrading ``found`` to ``target``, or ``None``.
+
+    ``None`` means no registered chain reaches ``target`` — the caller
+    should raise :class:`CheckpointVersionError` with
+    ``migratable=False``.
+    """
+    if found == target:
+        return []
+    chain: list[tuple[int, int]] = []
+    version = found
+    while version != target:
+        step = _MIGRATIONS.get(version)
+        if step is None:
+            return None
+        chain.append((version, step[0]))
+        version = step[0]
+    return chain
+
+
+def can_migrate(found, target: int = CHECKPOINT_VERSION) -> bool:
+    """Whether a registered chain upgrades ``found`` to ``target``."""
+    return migration_chain(found, target) is not None
+
+
+def migrate_envelope(
+    envelope: dict, path=None, target: int = CHECKPOINT_VERSION
+) -> dict:
+    """Upgrade a normalized envelope dict to ``target`` in memory.
+
+    Raises :class:`CheckpointVersionError` (``migratable=False``) when no
+    chain exists, and ``RuntimeError`` if a registered step fails to
+    advance the version it promised (a buggy migration must not loop).
+    """
+    version = envelope.get("version")
+    chain = migration_chain(version, target)
+    if chain is None:
+        raise CheckpointVersionError(
+            path or "<envelope>", version, target, migratable=False
+        )
+    for from_version, to_version in chain:
+        _, fn = _MIGRATIONS[from_version]
+        envelope = fn(dict(envelope))
+        if envelope.get("version") != to_version:
+            raise RuntimeError(
+                f"migration {from_version}->{to_version} left the envelope "
+                f"at version {envelope.get('version')!r}"
+            )
+    return envelope
+
+
+def migrate_checkpoint(path, out=None, target: int = CHECKPOINT_VERSION) -> dict:
+    """Rewrite an on-disk checkpoint at the current envelope version.
+
+    Reads ``path`` (any migratable version), applies the upgrade chain,
+    and atomically writes the result to ``out`` (default: in place).
+    Already-current checkpoints are left untouched. Returns a summary
+    ``{"path", "out", "from_version", "to_version", "migrated"}``.
+    Unpickles the file — trusted input only.
+    """
+    path = Path(path)
+    envelope = read_checkpoint(path)
+    found = envelope.get("version")
+    out = Path(out) if out is not None else path
+    if found == target and out == path:
+        return {
+            "path": str(path),
+            "out": str(out),
+            "from_version": found,
+            "to_version": found,
+            "migrated": False,
+        }
+    envelope = migrate_envelope(envelope, path=path, target=target)
+    write_checkpoint(out, envelope["state"], meta=envelope.get("meta"))
+    return {
+        "path": str(path),
+        "out": str(out),
+        "from_version": found,
+        "to_version": target,
+        "migrated": True,
+    }
+
+
+# ---------------------------------------------------------------------- #
+# registered migrations
+# ---------------------------------------------------------------------- #
+@register_migration(1, 2)
+def _v1_to_v2(envelope: dict) -> dict:
+    """v1 → v2: wrap the bare state in the metadata-carrying v2 header.
+
+    v1 envelopes recorded nothing but the state, so the synthesized
+    metadata is honest about that: timestamps are stamped at migration
+    time, quota usage starts empty, and ``migrated_from`` marks the
+    provenance. The state itself is untouched — a session resumed from
+    the migrated envelope replays bit-identically.
+    """
+    now = time.time()
+    meta = dict(envelope.get("meta") or {})
+    meta.setdefault("created", now)
+    meta["updated"] = now
+    meta["migrated_from"] = 1
+    return {
+        "format": CHECKPOINT_FORMAT,
+        "version": 2,
+        "meta": meta,
+        "state": envelope["state"],
+    }

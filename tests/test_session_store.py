@@ -1,0 +1,632 @@
+"""Tests for the durable session store (``repro.store``).
+
+The headline contract: a session served with ``--state-dir`` and killed
+hard resumes from its last persisted iteration boundary and replays to a
+trace *bit-identical* to one that never restarted — the determinism
+contract of ``repro.session`` extended across process death. Around it:
+the versioned envelope (atomic writes, header-only metadata reads), the
+migration registry (v1 checkpoints written by earlier builds keep
+loading), the :class:`DirectorySessionStore` write-behind/index/compact
+behavior, and the service wiring (boundary snapshots, lazy rehydration,
+eviction, quota continuity).
+"""
+
+import io
+import json
+import os
+import pickle
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core import CometConfig
+from repro.datasets import load_dataset, pollute
+from repro.experiments import Configuration, build_polluted
+from repro.service import CometService, SessionQuotas
+from repro.session import (
+    CHECKPOINT_FORMAT,
+    CHECKPOINT_VERSION,
+    CheckpointVersionError,
+    CleaningSession,
+    SessionState,
+)
+from repro.session.state import (
+    atomic_write_bytes,
+    read_checkpoint,
+    read_checkpoint_meta,
+)
+from repro.store import (
+    DirectorySessionStore,
+    can_migrate,
+    migrate_checkpoint,
+    migrate_envelope,
+    migration_chain,
+    register_migration,
+    registered_migrations,
+)
+
+
+def _polluted(rows=120, seed=7):
+    dataset = load_dataset("cmc", n_rows=rows)
+    return pollute(dataset, error_types=["missing"], rng=seed)
+
+
+def _session(polluted, budget=3.0, rng=0, **kwargs):
+    return CleaningSession.create(
+        polluted,
+        algorithm="lor",
+        error_types=["missing"],
+        budget=budget,
+        config=CometConfig(step=0.05),
+        rng=rng,
+        **kwargs,
+    )
+
+
+@pytest.fixture(scope="module")
+def polluted():
+    return _polluted()
+
+
+def _records(trace):
+    return [record.to_dict() for record in trace.records]
+
+
+def _write_v1_checkpoint(path, state) -> None:
+    """Write a checkpoint exactly as the version-1 builds did.
+
+    One pickled dict, state inline, no metadata — byte-for-byte the old
+    ``SessionState.save``. The migration tests load these through the
+    v1→v2 hook, which is the acceptance path for directories written by
+    pre-upgrade deployments.
+    """
+    envelope = {"format": CHECKPOINT_FORMAT, "version": 1, "state": state}
+    with open(path, "wb") as fh:
+        pickle.dump(envelope, fh)
+
+
+# Verb parameters used by every service-level test in this module, and
+# the matching in-process construction (what `_handle_create` builds) —
+# the uninterrupted reference every resumed trace is compared against.
+_PARAMS = {
+    "dataset": "cmc",
+    "rows": 100,
+    "algorithm": "lor",
+    "budget": 10.0,  # ~5 iterations on this slice: room to crash mid-run
+    "step": 0.05,
+    "seed": 5,
+}
+
+
+def _reference_trace_dict():
+    config = Configuration(
+        dataset=_PARAMS["dataset"],
+        algorithm=_PARAMS["algorithm"],
+        error_types=("missing",),
+        n_rows=_PARAMS["rows"],
+        budget=_PARAMS["budget"],
+        step=_PARAMS["step"],
+    )
+    dataset = build_polluted(config, seed=_PARAMS["seed"])
+    with CleaningSession.create(
+        dataset,
+        algorithm=config.algorithm,
+        error_types=list(config.error_types),
+        budget=config.budget,
+        cost_model=config.make_cost_model(),
+        config=config.make_comet_config(),
+        rng=_PARAMS["seed"],
+    ) as session:
+        return session.run().to_dict()
+
+
+class TestAtomicCheckpoint:
+    def test_save_leaves_no_tmp_strays(self, polluted, tmp_path):
+        session = _session(polluted)
+        path = tmp_path / "session.ckpt"
+        session.save(path)
+        assert path.exists()
+        assert [p.name for p in tmp_path.iterdir()] == ["session.ckpt"]
+        resumed = SessionState.load(path)
+        assert resumed.iteration == session.state.iteration
+
+    def test_failed_replace_keeps_previous_checkpoint(
+        self, polluted, tmp_path, monkeypatch
+    ):
+        session = _session(polluted)
+        path = tmp_path / "session.ckpt"
+        session.save(path)
+        before = path.read_bytes()
+
+        def boom(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError):
+            session.save(path)
+        monkeypatch.undo()
+        # The old complete checkpoint survives and the tmp file is gone.
+        assert path.read_bytes() == before
+        assert [p.name for p in tmp_path.iterdir()] == ["session.ckpt"]
+        assert SessionState.load(path).iteration == session.state.iteration
+
+    def test_meta_rides_in_the_header(self, polluted, tmp_path):
+        path = tmp_path / "session.ckpt"
+        _session(polluted).save(path, meta={"client": "tester"})
+        header = read_checkpoint_meta(path)
+        assert header["format"] == CHECKPOINT_FORMAT
+        assert header["version"] == CHECKPOINT_VERSION
+        assert header["meta"]["client"] == "tester"
+        assert header["meta"]["created"] <= header["meta"]["updated"]
+
+    def test_header_readable_even_when_state_is_truncated(
+        self, polluted, tmp_path
+    ):
+        # The v2 layout's point: tooling reads metadata without touching
+        # the state pickle — so a header survives a truncated state.
+        whole = tmp_path / "whole.ckpt"
+        _session(polluted).save(whole)
+        data = whole.read_bytes()
+        buffer = io.BytesIO(data)
+        pickle.load(buffer)  # consume exactly the header pickle
+        cut = tmp_path / "cut.ckpt"
+        cut.write_bytes(data[: buffer.tell()])
+        assert read_checkpoint_meta(cut)["version"] == CHECKPOINT_VERSION
+        with pytest.raises(ValueError, match="truncated"):
+            read_checkpoint(cut)
+
+    def test_atomic_write_bytes_roundtrip(self, tmp_path):
+        path = tmp_path / "blob"
+        atomic_write_bytes(path, b"one")
+        atomic_write_bytes(path, b"two", fsync=False)
+        assert path.read_bytes() == b"two"
+
+
+class TestMigration:
+    def test_v1_raises_migratable_version_error(self, polluted, tmp_path):
+        path = tmp_path / "old.ckpt"
+        _write_v1_checkpoint(path, _session(polluted).state)
+        with pytest.raises(CheckpointVersionError) as excinfo:
+            SessionState.load(path)
+        error = excinfo.value
+        assert error.found == 1
+        assert error.supported == CHECKPOINT_VERSION
+        assert error.migratable is True
+        assert "sessions migrate" in str(error)
+
+    def test_unknown_version_is_not_migratable(self, polluted, tmp_path):
+        path = tmp_path / "future.ckpt"
+        envelope = {
+            "format": CHECKPOINT_FORMAT,
+            "version": 99,
+            "state": _session(polluted).state,
+        }
+        with open(path, "wb") as fh:
+            pickle.dump(envelope, fh)
+        with pytest.raises(CheckpointVersionError) as excinfo:
+            SessionState.load(path, migrate=True)
+        assert excinfo.value.migratable is False
+        assert "sessions migrate" not in str(excinfo.value)
+
+    def test_v1_checkpoint_resumes_bit_identically(self, polluted, tmp_path):
+        # The acceptance path: a mid-run checkpoint in the pre-upgrade
+        # layout loads through the v1→v2 hook and replays exactly.
+        reference = _session(polluted, rng=3).run()
+
+        session = _session(polluted, rng=3)
+        session.step()
+        path = tmp_path / "old.ckpt"
+        _write_v1_checkpoint(path, session.state)
+
+        state = SessionState.load(path, migrate=True)
+        with CleaningSession(state) as resumed:
+            trace = resumed.run()
+        assert _records(trace) == _records(reference)
+
+    def test_migrate_checkpoint_rewrites_in_place(self, polluted, tmp_path):
+        path = tmp_path / "old.ckpt"
+        _write_v1_checkpoint(path, _session(polluted).state)
+        summary = migrate_checkpoint(path)
+        assert summary["migrated"] is True
+        assert summary["from_version"] == 1
+        assert summary["to_version"] == CHECKPOINT_VERSION
+        header = read_checkpoint_meta(path)
+        assert header["version"] == CHECKPOINT_VERSION
+        assert header["meta"]["migrated_from"] == 1
+        # Now current: plain load works, and a second migrate is a no-op.
+        SessionState.load(path)
+        assert migrate_checkpoint(path)["migrated"] is False
+
+    def test_migrate_checkpoint_to_separate_output(self, polluted, tmp_path):
+        src = tmp_path / "old.ckpt"
+        _write_v1_checkpoint(src, _session(polluted).state)
+        out = tmp_path / "new.ckpt"
+        assert migrate_checkpoint(src, out=out)["migrated"] is True
+        assert read_checkpoint_meta(out)["version"] == CHECKPOINT_VERSION
+        assert read_checkpoint(src)["version"] == 1  # source untouched
+
+    def test_registry_chain(self):
+        assert registered_migrations()[1] == 2
+        assert migration_chain(1) == [(1, CHECKPOINT_VERSION)]
+        assert migration_chain(CHECKPOINT_VERSION) == []
+        assert migration_chain(99) is None
+        assert can_migrate(1) is True
+        assert can_migrate(None) is False
+
+    def test_register_migration_validates(self):
+        with pytest.raises(ValueError, match="forward"):
+            register_migration(3, 3)
+        with pytest.raises(ValueError, match="already registered"):
+            register_migration(1, 5)(lambda envelope: envelope)
+
+    def test_buggy_migration_step_is_caught(self):
+        from repro.store import migrate as migrate_module
+
+        @register_migration(90, 91)
+        def _stuck(envelope):
+            return envelope  # forgets to advance the version
+
+        try:
+            with pytest.raises(RuntimeError, match="left the envelope"):
+                migrate_envelope({"version": 90, "state": None}, target=91)
+        finally:
+            migrate_module._MIGRATIONS.pop(90)
+
+
+class TestDirectorySessionStore:
+    def test_put_flush_load_roundtrip(self, polluted, tmp_path):
+        reference = _session(polluted, rng=1).run()
+        session = _session(polluted, rng=1)
+        session.step()
+        with DirectorySessionStore(tmp_path / "state") as store:
+            store.put("alpha", session.state, meta={"iteration": 1})
+            store.flush()
+            assert "alpha" in store
+            assert store.names() == ["alpha"]
+            meta = store.meta("alpha")
+            assert meta["iteration"] == 1
+            assert meta["name"] == "alpha"
+            with CleaningSession(store.load("alpha")) as resumed:
+                trace = resumed.run()
+        assert _records(trace) == _records(reference)
+
+    def test_writes_coalesce_and_converge(self, polluted, tmp_path):
+        state = _session(polluted).state
+        with DirectorySessionStore(tmp_path / "state") as store:
+            for i in range(5):
+                store.put("alpha", state, meta={"iteration": i})
+            store.flush()
+            stats = store.stats()
+            # Every put is either written or coalesced into a newer one,
+            # and the store converges on the newest snapshot.
+            assert stats["writes"] + stats["coalesced_writes"] == 5
+            assert stats["pending_writes"] == 0
+            assert store.meta("alpha")["iteration"] == 4
+
+    def test_created_is_preserved_across_rewrites(self, polluted, tmp_path):
+        state = _session(polluted).state
+        with DirectorySessionStore(tmp_path / "state") as store:
+            store.put("alpha", state)
+            store.flush()
+            created = store.meta("alpha")["created"]
+            store.put("alpha", state)
+            store.flush()
+            meta = store.meta("alpha")
+            assert meta["created"] == created
+            assert meta["updated"] >= created
+
+    def test_delete_evicts_file_and_index(self, polluted, tmp_path):
+        root = tmp_path / "state"
+        state = _session(polluted).state
+        with DirectorySessionStore(root) as store:
+            store.put("alpha", state)
+            store.flush()
+            store.delete("alpha")
+            assert "alpha" not in store
+            with pytest.raises(KeyError):
+                store.load("alpha")
+        assert list(root.glob("sessions/*.ckpt")) == []
+        index = json.loads((root / "index.json").read_text())
+        assert index["sessions"] == {}
+
+    def test_load_unknown_name(self, tmp_path):
+        with DirectorySessionStore(tmp_path / "state") as store:
+            with pytest.raises(KeyError, match="ghost"):
+                store.load("ghost")
+            with pytest.raises(KeyError, match="ghost"):
+                store.meta("ghost")
+
+    def test_index_rebuilt_from_directory_scan(self, polluted, tmp_path):
+        # Lost index: the envelope header carries the session name, so a
+        # directory scan reconstructs the listing.
+        root = tmp_path / "state"
+        state = _session(polluted).state
+        with DirectorySessionStore(root) as store:
+            store.put("alpha", state, meta={"iteration": 0})
+            store.flush()
+        (root / "index.json").unlink()
+        with DirectorySessionStore(root) as store:
+            assert store.names() == ["alpha"]
+            assert store.meta("alpha")["iteration"] == 0
+            assert isinstance(store.load("alpha"), SessionState)
+        assert (root / "index.json").exists()
+
+    def test_corrupt_index_rebuilt(self, polluted, tmp_path):
+        root = tmp_path / "state"
+        with DirectorySessionStore(root) as store:
+            store.put("alpha", _session(polluted).state)
+            store.flush()
+        (root / "index.json").write_text("{ not json")
+        with DirectorySessionStore(root) as store:
+            assert store.names() == ["alpha"]
+
+    def test_inline_mode_writes_synchronously(self, polluted, tmp_path):
+        root = tmp_path / "state"
+        with DirectorySessionStore(root, write_behind=False) as store:
+            store.put("alpha", _session(polluted).state)
+            # No flush: the put itself performed the I/O.
+            assert store.stats()["writes"] == 1
+            assert store.stats()["pending_writes"] == 0
+        assert len(list(root.glob("sessions/*.ckpt"))) == 1
+
+    def test_store_refuses_use_after_close(self, polluted, tmp_path):
+        store = DirectorySessionStore(tmp_path / "state")
+        store.close()
+        store.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            store.put("alpha", _session(polluted).state)
+
+    def test_abort_simulates_crash(self, polluted, tmp_path):
+        store = DirectorySessionStore(tmp_path / "state")
+        store.abort()
+        store.flush()  # returns instead of hanging on a dead writer
+        with pytest.raises(RuntimeError, match="closed"):
+            store.put("alpha", _session(polluted).state)
+
+    def test_compact_reconciles_the_directory(self, polluted, tmp_path):
+        root = tmp_path / "state"
+        state = _session(polluted).state
+        with DirectorySessionStore(root) as store:
+            store.put("alpha", state, meta={"finished": False})
+            store.put("beta", state, meta={"finished": True})
+            store.flush()
+            alpha_file = root / "sessions" / store._index["alpha"]["file"]
+
+        with DirectorySessionStore(root) as store:
+            # Simulate crash debris and operator traffic: a stray tmp
+            # file, a checkpoint deleted behind the index's back, and a
+            # foreign checkpoint copied in without an index entry.
+            (root / "sessions" / "junk.ckpt.tmp-999-0").write_bytes(b"junk")
+            stray = root / "sessions" / "copied-in.ckpt"
+            stray.write_bytes(alpha_file.read_bytes())
+            alpha_file.unlink()
+            summary = store.compact()
+            assert summary["tmp_removed"] == 1
+            assert summary["entries_dropped"] == 1  # alpha's file vanished
+            assert summary["adopted"] == 1  # ...but the copy is adopted
+            assert store.names() == ["alpha", "beta"]
+            assert isinstance(store.load("alpha"), SessionState)
+
+            summary = store.compact(drop_finished=True)
+            assert summary["finished_dropped"] == 1
+            assert store.names() == ["alpha"]
+
+    def test_load_migrates_v1_files_in_place(self, polluted, tmp_path):
+        # A state directory populated by a version-1 build keeps working:
+        # compact adopts the file, load runs the migration chain.
+        reference = _session(polluted, rng=2).run()
+        session = _session(polluted, rng=2)
+        session.step()
+        root = tmp_path / "state"
+        (root / "sessions").mkdir(parents=True)
+        _write_v1_checkpoint(root / "sessions" / "legacy.ckpt", session.state)
+        with DirectorySessionStore(root) as store:
+            assert store.names() == ["legacy"]
+            with CleaningSession(store.load("legacy")) as resumed:
+                trace = resumed.run()
+            assert store.stats()["migrations"] == 1
+        assert _records(trace) == _records(reference)
+
+    def test_stats_shape(self, tmp_path):
+        with DirectorySessionStore(tmp_path / "state") as store:
+            stats = store.stats()
+        assert {
+            "root",
+            "persisted_sessions",
+            "bytes",
+            "pending_writes",
+            "write_behind_lag_s",
+            "last_write_s",
+            "last_error",
+            "writes",
+            "bytes_written",
+            "coalesced_writes",
+            "rehydrations",
+            "migrations",
+            "write_errors",
+        } <= set(stats)
+
+
+class TestServiceDurability:
+    """The store wired through ``CometService`` — the serve --state-dir
+    machinery, exercised in process (the subprocess path is below)."""
+
+    def _create(self, service, name="durable"):
+        response = service.handle(
+            {"action": "create", "name": name, "params": _PARAMS}
+        )
+        assert response["ok"], response
+        return response["result"]
+
+    def test_crash_resume_trace_bit_identical(self, tmp_path):
+        root = tmp_path / "state"
+        store = DirectorySessionStore(root)
+        service = CometService(store=store)
+        self._create(service)
+        for _ in range(2):
+            assert service.handle({"action": "step", "name": "durable"})["ok"]
+        store.flush()
+        assert store.meta("durable")["iteration"] == 2
+        # Hard crash: no final snapshot, pending dropped. (The service
+        # shutdown afterwards only reclaims scheduler threads — the
+        # aborted store refuses its farewell snapshot, like a real kill.)
+        store.abort()
+        service.shutdown()
+
+        store = DirectorySessionStore(root)
+        service = CometService(store=store)
+        assert service.resume_persisted() == ["durable"]
+        assert service.names() == ["durable"]
+        # Registration is lazy: nothing is unpickled until a verb lands.
+        assert store.stats()["rehydrations"] == 0
+        response = service.handle({"action": "run", "name": "durable"})
+        assert response["ok"], response
+        assert store.stats()["rehydrations"] == 1
+        assert response["result"]["trace"] == _reference_trace_dict()
+        service.shutdown()
+
+    def test_boundary_snapshots_and_status_stats(self, tmp_path):
+        store = DirectorySessionStore(tmp_path / "state")
+        with CometService(store=store) as service:
+            self._create(service)
+            store.flush()
+            assert store.meta("durable")["iteration"] == 0  # newborn persisted
+            assert service.handle({"action": "step", "name": "durable"})["ok"]
+            store.flush()
+            meta = store.meta("durable")
+            assert meta["iteration"] == 1
+            assert meta["client"] == "local"
+            assert meta["backend"] == {"name": "serial", "workers": 1}
+            status = service.handle({"action": "status"})["result"]
+            assert status["store"]["persisted_sessions"] == 1
+            assert status["store"]["root"] == str(store.root)
+
+    def test_close_evicts_live_and_cold_sessions(self, tmp_path):
+        root = tmp_path / "state"
+        store = DirectorySessionStore(root)
+        service = CometService(store=store)
+        self._create(service)
+        assert service.handle({"action": "close", "name": "durable"})["ok"]
+        assert "durable" not in store
+        service.shutdown()
+
+        store = DirectorySessionStore(root)
+        service = CometService(store=store)
+        self._create(service)
+        store.flush()
+        store.abort()
+        service.shutdown()
+        store = DirectorySessionStore(root)
+        service = CometService(store=store)
+        assert service.resume_persisted() == ["durable"]
+        # Closing a cold marker evicts without ever rehydrating it.
+        assert service.handle({"action": "close", "name": "durable"})["ok"]
+        assert "durable" not in store
+        assert store.stats()["rehydrations"] == 0
+        service.shutdown()
+
+    def test_graceful_shutdown_persists_final_boundary(self, tmp_path):
+        root = tmp_path / "state"
+        store = DirectorySessionStore(root)
+        service = CometService(store=store)
+        self._create(service)
+        assert service.handle({"action": "step", "name": "durable"})["ok"]
+        service.shutdown()  # final snapshot + flush + close
+        with DirectorySessionStore(root) as fresh:
+            assert fresh.meta("durable")["iteration"] == 1
+
+    def test_quota_slots_survive_restart(self, tmp_path):
+        root = tmp_path / "state"
+        quotas = SessionQuotas(max_sessions=1)
+        store = DirectorySessionStore(root)
+        service = CometService(store=store, quotas=quotas)
+        self._create(service)
+        store.flush()
+        store.abort()
+        service.shutdown()
+
+        store = DirectorySessionStore(root)
+        service = CometService(store=store, quotas=SessionQuotas(max_sessions=1))
+        service.resume_persisted()
+        # The cold persisted session holds its client's only slot.
+        response = service.handle(
+            {"action": "create", "name": "second", "params": _PARAMS}
+        )
+        assert not response["ok"]
+        assert response["error"]["code"] == "quota_exceeded"
+        service.shutdown()
+
+
+class TestServeStateDirEndToEnd:
+    """`serve --state-dir` killed with SIGKILL resumes bit-identically."""
+
+    def _spawn(self, state_dir):
+        import repro
+
+        src = str(Path(repro.__file__).resolve().parents[1])
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [src] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--port",
+                "0",
+                "--state-dir",
+                str(state_dir),
+            ],
+            stdout=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        resumed = proc.stdout.readline().strip()
+        assert resumed.startswith(f"state dir {state_dir}: resumed "), resumed
+        ready = proc.stdout.readline().strip()
+        assert ready.startswith("serving tcp on 127.0.0.1:"), ready
+        return proc, int(ready.rsplit(":", 1)[1]), resumed
+
+    def test_sigkill_restart_resumes_bit_identical(self, tmp_path):
+        from repro.service import CometClient
+
+        state_dir = tmp_path / "state"
+        proc, port, resumed = self._spawn(state_dir)
+        try:
+            assert resumed.endswith("resumed 0 persisted session(s)")
+            with CometClient(port, timeout=120) as client:
+                client.create("durable", _PARAMS)
+                client.step("durable")
+                # Drain the write-behind queue so the kill cannot race
+                # the snapshot we assert on.
+                deadline = time.monotonic() + 30
+                while client.status()["store"]["pending_writes"]:
+                    assert time.monotonic() < deadline, "store never drained"
+                    time.sleep(0.05)
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+        proc, port, resumed = self._spawn(state_dir)
+        try:
+            assert resumed.endswith("resumed 1 persisted session(s)")
+            with CometClient(port, timeout=120) as client:
+                assert client.status()["sessions"] == ["durable"]
+                result = client.run("durable")
+                assert result["finished"] is True
+                assert result["trace"] == _reference_trace_dict()
+                assert client.shutdown_server() == {"shutdown": True}
+            assert proc.wait(timeout=30) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
