@@ -125,9 +125,17 @@ def test_frame_cow(benchmark):
     sweep = results["e1_sweep_cleanml_titanic"]
     # Caching must never change results...
     assert sweep["token"]["final_predictions"] == sweep["digest"]["final_predictions"]
-    # ...and the token layer must win the hit-rate comparison outright
-    # (categorical columns join the cache; nothing gets worse).
-    assert sweep["token"]["fit_hit_rate"] > sweep["digest"]["fit_hit_rate"] + 0.05
+    # ...and the token layer must not lose the hit-rate comparison. (The
+    # digest baseline now caches categorical columns too — by content
+    # digest, so its *rate* rivals tokens; the token win is the O(1)
+    # signature cost asserted above plus the layers digest mode lacks,
+    # asserted below.)
+    assert sweep["token"]["fit_hit_rate"] >= sweep["digest"]["fit_hit_rate"] - 0.05
+    assert sweep["token"]["fit_hit_rate"] > 0.5
+    # The shared-cache block layer pays on *fresh* polluted states —
+    # reuse below the whole-matrix level that digest mode never gets.
+    assert sweep["token"]["block_hits"] > 0
+    assert sweep["digest"]["block_hits"] == 0
 
     repeated = results["repeated_fit_score"]
     assert repeated["token"]["scores_identical"]

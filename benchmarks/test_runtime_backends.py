@@ -15,6 +15,7 @@ import time
 import numpy as np
 from _helpers import RESULTS_DIR
 
+from repro.cache import cache_stats
 from repro.core import CometConfig, CometEstimator
 from repro.datasets import load_dataset, pollute
 from repro.errors import MissingValues
@@ -68,12 +69,14 @@ def _hit_rates(stats):
     """
     lookups = stats["hits"] + stats["misses"]
     transforms = stats["transform_hits"] + stats["transform_misses"]
+    blocks = stats["block_hits"] + stats["block_misses"]
     return {
         **stats,
         "fit_hit_rate": stats["hits"] / lookups if lookups else None,
         "transform_hit_rate": (
             stats["transform_hits"] / transforms if transforms else None
         ),
+        "block_hit_rate": stats["block_hits"] / blocks if blocks else None,
     }
 
 
@@ -95,6 +98,11 @@ def test_estimator_sweep_backends(benchmark):
             "thread_s": thread_s,
             "thread_speedup": serial_s / thread_s,
             "fit_cache": {"serial": serial_cache, "thread": thread_cache},
+            # Byte-level view of the same namespaces on the shared cache.
+            "shared_cache": {
+                ns: {k: entry[k] for k in ("hits", "misses", "evictions", "bytes")}
+                for ns, entry in cache_stats()["namespaces"].items()
+            },
         }
         identical = all(
             s.predicted_f1 == t.predicted_f1 and np.array_equal(s.scores, t.scores)

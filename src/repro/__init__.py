@@ -16,6 +16,7 @@ Quickstart::
     print(trace.initial_f1, "->", trace.final_f1)
 """
 
+from repro.cache import cache_stats, clear_shared_cache, set_cache_budget
 from repro.cleaning import Budget, CostModel, paper_cost_model, uniform_cost_model
 from repro.core import CleaningTrace, Comet, CometConfig
 from repro.datasets import dataset_summaries, load_dataset, pollute
@@ -64,5 +65,8 @@ __all__ = [
     "kernel_mode",
     "set_kernel_mode",
     "use_kernels",
+    "cache_stats",
+    "set_cache_budget",
+    "clear_shared_cache",
     "__version__",
 ]

@@ -123,6 +123,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-seconds", type=_positive_float, default=None,
         help="quota: accumulated engine wall-clock seconds per session",
     )
+    srv.add_argument(
+        "--max-cache-bytes", type=_positive_int, default=None,
+        help="quota: byte budget for the process-wide featurization/FD "
+             "caches, enforced by LRU eviction (never by failing a "
+             "verb); default keeps the built-in 128 MiB budget",
+    )
     _backend_args(srv)
 
     wrk = sub.add_parser(
@@ -341,6 +347,7 @@ def _cmd_serve(args: argparse.Namespace, in_stream=None, out_stream=None) -> int
         max_iterations=args.max_iterations,
         max_seconds=args.max_seconds,
         max_sessions=args.max_sessions,
+        max_cache_bytes=args.max_cache_bytes,
     )
     store = None
     if args.state_dir is not None:

@@ -23,12 +23,12 @@ baseline.
 
 from __future__ import annotations
 
-import threading
-from collections import Counter, OrderedDict, defaultdict
+from collections import Counter, defaultdict
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.cache import shared_cache
 from repro.frame import Column, DataFrame
 from repro.kernels import kernel_mode
 
@@ -117,53 +117,63 @@ def _pair_stats_from_codes(
     )
 
 
-#: Pair-stats cache keyed by the two columns' content tokens. Tokens are
-#: minted fresh on every mutation, so a hit proves both columns are
-#: byte-identical to when the stats were computed; LRU-bounded so a
-#: long-lived service cannot grow it without limit.
-_FD_CACHE: OrderedDict = OrderedDict()
-_FD_CACHE_MAX = 1024
+#: Pair stats live in the ``"fd"`` namespace of the process-wide shared
+#: cache (see :mod:`repro.cache`), keyed by the two columns' content
+#: tokens. Tokens are minted fresh on every mutation, so a hit proves
+#: both columns are byte-identical to when the stats were computed;
+#: byte-accounted eviction bounds it alongside the featurization caches.
+_NS_FD = shared_cache().register("fd", floor_bytes=1 * 1024 * 1024)
+#: Semantic counters share the cache's lock so read-and-reset is atomic
+#: against lookups from concurrent scheduler workers.
 _FD_CACHE_STATS = {"hits": 0, "misses": 0}
-# Sessions in a service run on worker threads but share this
-# process-wide cache (same idiom as repro.ml's fit caches).
-_FD_CACHE_LOCK = threading.Lock()
+_FD_CACHE_LOCK = shared_cache().lock
 
 
 def fd_cache_stats(reset: bool = False) -> dict[str, int]:
     """Hit/miss counters of the FD pair-stats cache (mirrors
     :func:`repro.ml.fit_cache_stats`); ``reset=True`` clears both the
-    counters and the cached entries."""
+    counters and the cached entries, atomically — a racing lookup either
+    lands before the read (and is reported) or after the reset (counting
+    toward the next window); it can no longer slip between the two and
+    be lost."""
     with _FD_CACHE_LOCK:
         stats = dict(_FD_CACHE_STATS)
-    if reset:
-        clear_fd_cache()
+        if reset:
+            _clear_locked()
     return stats
 
 
 def clear_fd_cache() -> None:
     """Drop all cached pair stats and zero the hit/miss counters."""
     with _FD_CACHE_LOCK:
-        _FD_CACHE.clear()
-        _FD_CACHE_STATS["hits"] = 0
-        _FD_CACHE_STATS["misses"] = 0
+        _clear_locked()
+
+
+def _clear_locked() -> None:
+    shared_cache().clear(_NS_FD)
+    _FD_CACHE_STATS["hits"] = 0
+    _FD_CACHE_STATS["misses"] = 0
 
 
 def _pair_stats(lhs: Column, rhs: Column) -> _PairStats:
     key = (lhs.token, rhs.token)
-    with _FD_CACHE_LOCK:
-        cached = _FD_CACHE.get(key)
-        if cached is not None:
+    cache = shared_cache()
+    cached = cache.get(_NS_FD, key)
+    if cached is not None:
+        with _FD_CACHE_LOCK:
             _FD_CACHE_STATS["hits"] += 1
-            _FD_CACHE.move_to_end(key)
-            return cached
+        return cached
+    with _FD_CACHE_LOCK:
         _FD_CACHE_STATS["misses"] += 1
     lhs_codes, lhs_cats = lhs.codes()
     rhs_codes, rhs_cats = rhs.codes()
     stats = _pair_stats_from_codes(lhs_codes, rhs_codes, len(lhs_cats), len(rhs_cats))
-    with _FD_CACHE_LOCK:
-        _FD_CACHE[key] = stats
-        while len(_FD_CACHE) > _FD_CACHE_MAX:
-            _FD_CACHE.popitem(last=False)
+    nbytes = (
+        stats.group_sizes.nbytes
+        + stats.majority_codes.nbytes
+        + stats.majority_counts.nbytes
+    )
+    cache.put(_NS_FD, key, stats, nbytes=nbytes)
     return stats
 
 

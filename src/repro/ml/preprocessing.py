@@ -13,22 +13,32 @@ token comparison instead of an O(n) content digest. That makes the cache
 worthwhile for categorical columns too, and cheap enough to extend to
 whole transformed feature matrices, keyed by the tuple of column tokens —
 a repeated fit over an unchanged frame skips featurization entirely.
-A content digest remains as a fallback for externally constructed numeric
-arrays (and as the measurable pre-token baseline, via
-:func:`signature_mode`). Cache hits return the same values a
-recomputation would — tokens change on every mutation — so caching never
-changes results; see ``repro.runtime`` for the determinism contract.
+A content digest remains as a fallback for externally constructed
+columns (and as the measurable pre-token baseline, via
+:func:`signature_mode`).
+
+All memoized state lives on the process-wide :mod:`repro.cache` layer
+(namespaces ``"fit"``, ``"transform"``, ``"blocks"``): entries are
+byte-accounted, shared across sessions, and evicted under the
+``SessionQuotas.max_cache_bytes`` budget. Memoization also reaches
+*below* the frame level: per-column transformed blocks are keyed by the
+fitted statistics' values plus a content signature, and a polluted
+column carrying row-level lineage (:meth:`Column.delta_base`) is served
+by masked-scatter-patching the base state's cached block — only the
+touched rows are recomputed. Every output cell is an independent
+elementwise function of its input cell, so a patch is bit-identical to
+a recompute; caching never changes results (see ``repro.runtime`` for
+the determinism contract).
 """
 
 from __future__ import annotations
 
 import contextlib
 import hashlib
-import threading
-from collections import OrderedDict
 
 import numpy as np
 
+from repro.cache import estimate_nbytes, shared_cache
 from repro.frame import Column, DataFrame
 
 __all__ = [
@@ -105,23 +115,36 @@ class OneHotEncoder:
 _MISSING_CATEGORY = "<missing>"
 
 # ---------------------------------------------------------------------- #
-# fit-signature and transformed-matrix caches
+# featurization namespaces on the process-wide shared cache
 # ---------------------------------------------------------------------- #
 #: column signature → per-column fit statistics (immutable tuples).
-_FIT_CACHE: OrderedDict[bytes, tuple] = OrderedDict()
-_FIT_CACHE_MAX = 2048
+_NS_FIT = shared_cache().register("fit", floor_bytes=2 * 1024 * 1024)
 #: (fit signatures, input signatures) → read-only transformed matrix.
-_TRANSFORM_CACHE: OrderedDict[tuple, np.ndarray] = OrderedDict()
-_TRANSFORM_CACHE_MAX = 128
-#: Bounds so a service holding many sessions cannot hoard matrices.
-_TRANSFORM_CACHE_MAX_BYTES = 64 * 1024 * 1024
-_TRANSFORM_ENTRY_MAX_BYTES = 16 * 1024 * 1024
-_TRANSFORM_CACHE_BYTES = 0
-_CACHE_LOCK = threading.Lock()
+_NS_TRANSFORM = shared_cache().register(
+    "transform", floor_bytes=8 * 1024 * 1024
+)
+#: (fitted-stat values, column signature) → read-only per-column block.
+#: Keying by stat *values* (not fit identity) lets two preprocessors
+#: whose statistics coincide — the unchanged columns of a polluted E1
+#: state — share blocks.
+_NS_BLOCKS = shared_cache().register("blocks", floor_bytes=8 * 1024 * 1024)
+
+#: Counter updates share the cache's lock so ``fit_cache_stats(reset=True)``
+#: is atomic against puts from concurrent scheduler workers — a reset can
+#: no longer race a lookup and lose its count.
+_CACHE_LOCK = shared_cache().lock
 
 
 def _zero_stats() -> dict[str, int]:
-    return {"hits": 0, "misses": 0, "transform_hits": 0, "transform_misses": 0}
+    return {
+        "hits": 0,
+        "misses": 0,
+        "transform_hits": 0,
+        "transform_misses": 0,
+        "block_hits": 0,
+        "block_misses": 0,
+        "delta_hits": 0,
+    }
 
 
 _CACHE_STATS = _zero_stats()
@@ -153,12 +176,16 @@ def signature_mode(mode: str):
 
 
 def clear_fit_cache() -> None:
-    """Drop all memoized featurization state and reset the counters."""
-    global _TRANSFORM_CACHE_BYTES
+    """Drop all memoized featurization state and reset the counters.
+
+    Atomic: the entry drop and the counter reset happen under one lock,
+    so a concurrent worker's lookup can neither hit a dropped entry nor
+    leave a count that the reset then loses.
+    """
+    cache = shared_cache()
     with _CACHE_LOCK:
-        _FIT_CACHE.clear()
-        _TRANSFORM_CACHE.clear()
-        _TRANSFORM_CACHE_BYTES = 0
+        for namespace in (_NS_FIT, _NS_TRANSFORM, _NS_BLOCKS):
+            cache.clear(namespace)
         for key in _CACHE_STATS:
             _CACHE_STATS[key] = 0
 
@@ -168,10 +195,17 @@ def fit_cache_stats(reset: bool = False) -> dict[str, int]:
 
     ``hits``/``misses`` count per-column fit lookups (numeric and
     categorical); ``transform_hits``/``transform_misses`` count whole
-    transformed-matrix lookups. ``reset=True`` zeroes the counters after
-    reading — benchmark figures use that to report per-phase hit rates
-    instead of process-lifetime aggregates (per-instance numbers live on
-    ``TabularPreprocessor.cache_stats_``).
+    transformed-matrix lookups; ``block_hits``/``block_misses`` count
+    per-column transformed-block lookups below the frame level, of which
+    ``delta_hits`` are misses served by patching the base state's block
+    via row lineage instead of a full recompute. ``reset=True`` zeroes
+    the counters after reading, atomically — a racing lookup either lands
+    before the read (and is reported) or after the reset (and counts
+    toward the next window); it is never lost. Benchmark figures use
+    that to report per-phase hit rates instead of process-lifetime
+    aggregates (per-instance numbers live on
+    ``TabularPreprocessor.cache_stats_``). Byte-level accounting for the
+    same namespaces lives on :func:`repro.cache.cache_stats`.
     """
     with _CACHE_LOCK:
         out = dict(_CACHE_STATS)
@@ -182,22 +216,42 @@ def fit_cache_stats(reset: bool = False) -> dict[str, int]:
 
 
 def _column_signature(column: Column) -> bytes | None:
-    """O(1) cache key for a column: its identity token.
+    """Content-proving cache key for a column.
 
-    Tokens change on every mutation and are process-unique (see
-    :mod:`repro.frame.column`), so equal signatures imply equal content.
-    In ``"digest"`` mode — and for objects without a token — numeric
-    columns fall back to a blake2b digest of their bytes (one memory
-    pass) and categorical columns return ``None`` (uncacheable): a robust
-    object-column digest costs more than the category set it would
-    memoize, which is exactly why the token layer exists.
+    In ``"token"`` mode: the column's row-level delta signature when it
+    carries lineage (stable across replays that rebuild the same
+    pollution from the same base — a re-polluted column mints a fresh
+    token but hashes to the same delta signature), otherwise the O(1)
+    identity token. Tokens change on every mutation and are
+    process-unique (see :mod:`repro.frame.column`), so equal signatures
+    imply equal content either way.
+
+    In ``"digest"`` mode — and for objects without a token — the key is
+    a blake2b content digest: numeric columns hash their raw bytes,
+    categorical columns hash their integer codes plus the category list
+    (``(codes, categories)`` jointly determine every cell including the
+    missing ones, so the digest is content-proving too).
     """
     if _SIGNATURE_MODE == "token":
+        delta_signature = getattr(column, "delta_signature", None)
+        if delta_signature is not None:
+            sig = delta_signature()
+            if sig is not None:
+                return sig
         token = getattr(column, "signature", None)
         if token is not None:
             return b"tok\x00" + token
     if not column.is_numeric:
-        return None
+        codes, cats = column.codes()
+        h = hashlib.blake2b(digest_size=16)
+        h.update(b"cat\x00")
+        h.update(len(column).to_bytes(8, "little"))
+        h.update(np.ascontiguousarray(codes, dtype=np.int64).tobytes())
+        for cat in cats:
+            encoded = str(cat).encode("utf-8", "surrogatepass")
+            h.update(len(encoded).to_bytes(4, "little"))
+            h.update(encoded)
+        return h.digest()
     h = hashlib.blake2b(digest_size=16)
     h.update(b"num\x00")
     h.update(column.values.tobytes())
@@ -207,56 +261,26 @@ def _column_signature(column: Column) -> bytes | None:
 
 
 def _cached_column_fit(column: Column, compute, stats: dict) -> tuple:
-    """Serve ``compute(column)`` from the cache, keyed by signature."""
+    """Serve ``compute(column)`` from the shared cache, keyed by signature."""
     key = _column_signature(column)
     if key is None:
         stats["misses"] += 1
         with _CACHE_LOCK:
             _CACHE_STATS["misses"] += 1
         return compute(column)
-    with _CACHE_LOCK:
-        cached = _FIT_CACHE.get(key)
-        if cached is not None:
-            _FIT_CACHE.move_to_end(key)
+    cache = shared_cache()
+    cached = cache.get(_NS_FIT, key)
+    if cached is not None:
+        with _CACHE_LOCK:
             _CACHE_STATS["hits"] += 1
-            stats["hits"] += 1
-            return cached
+        stats["hits"] += 1
+        return cached
+    with _CACHE_LOCK:
         _CACHE_STATS["misses"] += 1
     stats["misses"] += 1
     value = compute(column)
-    with _CACHE_LOCK:
-        _FIT_CACHE[key] = value
-        _FIT_CACHE.move_to_end(key)
-        while len(_FIT_CACHE) > _FIT_CACHE_MAX:
-            _FIT_CACHE.popitem(last=False)
+    cache.put(_NS_FIT, key, value, nbytes=estimate_nbytes(value))
     return value
-
-
-def _transform_cache_get(key: tuple) -> np.ndarray | None:
-    with _CACHE_LOCK:
-        cached = _TRANSFORM_CACHE.get(key)
-        if cached is not None:
-            _TRANSFORM_CACHE.move_to_end(key)
-        return cached
-
-
-def _transform_cache_put(key: tuple, matrix: np.ndarray) -> None:
-    global _TRANSFORM_CACHE_BYTES
-    if matrix.nbytes > _TRANSFORM_ENTRY_MAX_BYTES:
-        return
-    master = matrix.copy()
-    master.setflags(write=False)
-    with _CACHE_LOCK:
-        if key not in _TRANSFORM_CACHE:
-            _TRANSFORM_CACHE[key] = master
-            _TRANSFORM_CACHE_BYTES += master.nbytes
-        _TRANSFORM_CACHE.move_to_end(key)
-        while _TRANSFORM_CACHE and (
-            len(_TRANSFORM_CACHE) > _TRANSFORM_CACHE_MAX
-            or _TRANSFORM_CACHE_BYTES > _TRANSFORM_CACHE_MAX_BYTES
-        ):
-            __, evicted = _TRANSFORM_CACHE.popitem(last=False)
-            _TRANSFORM_CACHE_BYTES -= evicted.nbytes
 
 
 def _fit_numeric_column(column: Column) -> tuple[float, float, float]:
@@ -315,10 +339,13 @@ class TabularPreprocessor:
         self.cache_stats_ = _zero_stats()
 
     def _stats(self) -> dict:
-        # Instances unpickled from pre-versioning checkpoints lack the
-        # counter dict; recreate it lazily.
+        # Instances unpickled from older checkpoints lack the counter
+        # dict (or the newer block/delta counters); backfill lazily.
         if not hasattr(self, "cache_stats_"):
             self.cache_stats_ = _zero_stats()
+        elif "block_hits" not in self.cache_stats_:
+            for key, value in _zero_stats().items():
+                self.cache_stats_.setdefault(key, value)
         return self.cache_stats_
 
     def _column_fit(self, column: Column, compute) -> tuple:
@@ -381,11 +408,12 @@ class TabularPreprocessor:
         way.
         """
         key = None
+        cache = shared_cache()
         if self.cache and getattr(self, "_fit_key", None) is not None:
             input_key = self._frame_key(frame)
             if input_key is not None:
                 key = (self._fit_key, input_key)
-                cached = _transform_cache_get(key)
+                cached = cache.get(_NS_TRANSFORM, key)
                 stats = self._stats()
                 if cached is not None:
                     stats["transform_hits"] += 1
@@ -395,9 +423,165 @@ class TabularPreprocessor:
                 stats["transform_misses"] += 1
                 with _CACHE_LOCK:
                     _CACHE_STATS["transform_misses"] += 1
-        out = self._transform_uncached(frame)
+        if self.cache and _SIGNATURE_MODE == "token":
+            out = self._transform_blocks(frame)
+        else:
+            out = self._transform_uncached(frame)
         if key is not None:
-            _transform_cache_put(key, out)
+            master = out.copy()
+            master.setflags(write=False)
+            cache.put(_NS_TRANSFORM, key, master, nbytes=master.nbytes)
+        return out
+
+    def _transform_blocks(self, frame: DataFrame) -> np.ndarray:
+        """Assemble the output matrix from shared per-column blocks.
+
+        Each block is keyed by the fitted statistics' *values* plus the
+        column's content signature, so fresh fits whose statistics
+        coincide with an earlier one (all unchanged columns of a polluted
+        E1 state) reuse blocks across preprocessor instances — this is
+        where fresh polluted states, which always miss the whole-matrix
+        memo, still skip most featurization work. A block miss on a
+        column carrying row-level lineage is served by masked-scatter
+        patching the base state's cached block: copy, recompute only the
+        changed rows. Every output cell is an independent elementwise
+        function of its input cell, so both the per-column assembly and
+        the patch are bit-identical to :meth:`_transform_uncached`.
+        """
+        parts: list[np.ndarray] = []
+        numeric_blocks: list[np.ndarray] = []
+        for j, name in enumerate(self.numeric_names_):
+            column = frame[name]
+            impute = self.numeric_means_[name]
+            mean = self.scaler_.mean_[j]
+            scale = self.scaler_.scale_[j]
+            stats_key = ("num", float(impute), float(mean), float(scale))
+            numeric_blocks.append(
+                self._cached_block(
+                    stats_key,
+                    column,
+                    compute=lambda: self._numeric_block(
+                        column, impute, mean, scale
+                    ),
+                    patch=lambda base, rows: self._patch_numeric(
+                        base, rows, column, impute, mean, scale
+                    ),
+                )
+            )
+        if numeric_blocks:
+            parts.append(np.column_stack(numeric_blocks))
+        for j, name in enumerate(self.categorical_names_):
+            column = frame[name]
+            cats = self.encoder_.categories_[j]
+            stats_key = ("cat", tuple(cats))
+            parts.append(
+                self._cached_block(
+                    stats_key,
+                    column,
+                    compute=lambda: self._categorical_block(column, cats),
+                    patch=lambda base, rows: self._patch_categorical(
+                        base, rows, column, cats
+                    ),
+                )
+            )
+        if not parts:
+            raise ValueError("no feature columns to transform")
+        return np.hstack(parts)
+
+    def _cached_block(
+        self, stats_key: tuple, column: Column, compute, patch
+    ) -> np.ndarray:
+        """One column's transformed block, via the shared block cache.
+
+        Returned arrays are owned by the cache (read-only): callers
+        assemble them with copying stack operations. Besides its content
+        signature, a block is aliased under the column's identity token
+        so later delta patches can find it by ``delta_base()`` alone.
+        """
+        cache = shared_cache()
+        stats = self._stats()
+        sig = _column_signature(column)
+        key = (stats_key, sig)
+        block = cache.get(_NS_BLOCKS, key)
+        if block is not None:
+            stats["block_hits"] += 1
+            with _CACHE_LOCK:
+                _CACHE_STATS["block_hits"] += 1
+            return block
+        stats["block_misses"] += 1
+        with _CACHE_LOCK:
+            _CACHE_STATS["block_misses"] += 1
+        block = None
+        delta = column.delta_base() if hasattr(column, "delta_base") else None
+        if delta is not None:
+            base_token, rows = delta
+            base_block = cache.get(
+                _NS_BLOCKS, (stats_key, b"tok\x00" + base_token)
+            )
+            if base_block is not None:
+                block = patch(base_block, rows)
+                stats["delta_hits"] += 1
+                with _CACHE_LOCK:
+                    _CACHE_STATS["delta_hits"] += 1
+        if block is None:
+            block = compute()
+        block = np.ascontiguousarray(block)
+        block.setflags(write=False)
+        cache.put(_NS_BLOCKS, key, block, nbytes=block.nbytes)
+        token = getattr(column, "token", None)
+        if token is not None:
+            token_key = (stats_key, b"tok\x00" + token)
+            if token_key != key:
+                cache.put(_NS_BLOCKS, token_key, block, nbytes=block.nbytes)
+        return block
+
+    def _numeric_block(self, column: Column, impute, mean, scale) -> np.ndarray:
+        """One numeric column, imputed/clamped/scaled — the exact per-cell
+        operations :meth:`_numeric_matrix` + ``StandardScaler`` apply."""
+        values = column.values.copy()
+        values[column.missing_mask] = impute
+        values[~np.isfinite(values)] = impute
+        return (values - mean) / scale
+
+    @staticmethod
+    def _patch_numeric(
+        base: np.ndarray, rows: np.ndarray, column: Column, impute, mean, scale
+    ) -> np.ndarray:
+        out = base.copy()
+        values = column.values[rows].copy()
+        values[column.missing_mask[rows]] = impute
+        values[~np.isfinite(values)] = impute
+        out[rows] = (values - mean) / scale
+        return out
+
+    @staticmethod
+    def _categorical_block(column: Column, cats: list) -> np.ndarray:
+        """One one-hot block — the exact per-cell operations
+        :meth:`_categorical_values` + ``OneHotEncoder`` apply."""
+        lookup = {c: i for i, c in enumerate(cats)}
+        values = column.values.copy()
+        values[column.missing_mask] = _MISSING_CATEGORY
+        block = np.zeros((len(values), len(cats)))
+        for row, value in enumerate(values.tolist()):
+            j = lookup.get(value)
+            if j is not None:
+                block[row, j] = 1.0
+        return block
+
+    @staticmethod
+    def _patch_categorical(
+        base: np.ndarray, rows: np.ndarray, column: Column, cats: list
+    ) -> np.ndarray:
+        lookup = {c: i for i, c in enumerate(cats)}
+        out = base.copy()
+        out[rows, :] = 0.0
+        values = column.values[rows]
+        missing = column.missing_mask[rows]
+        for k, row in enumerate(rows.tolist()):
+            value = _MISSING_CATEGORY if missing[k] else values[k]
+            j = lookup.get(value)
+            if j is not None:
+                out[row, j] = 1.0
         return out
 
     def _transform_uncached(self, frame: DataFrame) -> np.ndarray:

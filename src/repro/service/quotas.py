@@ -11,7 +11,11 @@ process. Three knobs:
   on a clean iteration boundary: ``status`` and ``checkpoint`` keep
   working afterwards);
 - ``max_seconds`` — accumulated engine wall-clock one session may burn
-  in iteration verbs (same boundary guarantee).
+  in iteration verbs (same boundary guarantee);
+- ``max_cache_bytes`` — process-wide byte budget for the shared
+  featurization/FD caches (:mod:`repro.cache`). Unlike the other knobs
+  it is enforced by *eviction*, never by erroring a verb: exceeding it
+  costs recomputation, not availability.
 
 Failures surface as :class:`ServiceError` subclasses, which the JSON
 layer renders as structured error objects
@@ -84,9 +88,17 @@ class SessionQuotas:
     max_seconds: float | None = None
     #: Concurrent sessions one client may hold open.
     max_sessions: int | None = None
+    #: Process-wide byte budget for the shared caches (eviction-enforced;
+    #: ``None`` keeps :data:`repro.cache.DEFAULT_MAX_BYTES`).
+    max_cache_bytes: int | None = None
 
     def __post_init__(self) -> None:
-        for field_name in ("max_iterations", "max_seconds", "max_sessions"):
+        for field_name in (
+            "max_iterations",
+            "max_seconds",
+            "max_sessions",
+            "max_cache_bytes",
+        ):
             value = getattr(self, field_name)
             if value is not None and value <= 0:
                 raise ValueError(f"{field_name} must be positive, got {value}")
@@ -97,6 +109,7 @@ class SessionQuotas:
             "max_iterations": self.max_iterations,
             "max_seconds": self.max_seconds,
             "max_sessions": self.max_sessions,
+            "max_cache_bytes": self.max_cache_bytes,
         }
 
     # ------------------------------------------------------------------ #

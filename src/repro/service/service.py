@@ -39,6 +39,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from repro.cache import cache_stats, set_cache_budget
 from repro.detect import fd_cache_stats
 from repro.experiments import Configuration, build_polluted
 from repro.ml import fit_cache_stats
@@ -167,6 +168,11 @@ class CometService:
         self.backend = make_backend(backend, jobs)
         self.checkpoint_io = checkpoint_io
         self.quotas = quotas or SessionQuotas()
+        if self.quotas.max_cache_bytes is not None:
+            # The byte budget governs the process-wide shared cache:
+            # enforced by eviction (the cheapest entries to rebuild go
+            # first), never by failing a verb.
+            set_cache_budget(self.quotas.max_cache_bytes)
         self.scheduler = SessionScheduler(workers)
         self.store = store
         self._sessions: dict[str, _SessionRecord] = {}
@@ -658,6 +664,7 @@ class CometService:
                 "quotas": self.quotas.to_dict(),
                 "fd_cache": fd_cache_stats(),
                 "fit_cache": fit_cache_stats(),
+                "cache": cache_stats(),
             }
             backend_stats = getattr(self.backend, "stats", None)
             if callable(backend_stats):

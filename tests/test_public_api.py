@@ -10,6 +10,7 @@ import repro
 
 PACKAGES = [
     "repro",
+    "repro.cache",
     "repro.frame",
     "repro.ml",
     "repro.bayes",

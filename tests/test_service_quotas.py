@@ -47,7 +47,12 @@ def _small_polluted(seed=7):
 
 class TestQuotaValidation:
     def test_non_positive_limits_rejected(self):
-        for field in ("max_iterations", "max_seconds", "max_sessions"):
+        for field in (
+            "max_iterations",
+            "max_seconds",
+            "max_sessions",
+            "max_cache_bytes",
+        ):
             with pytest.raises(ValueError, match="positive"):
                 SessionQuotas(**{field: 0})
 
@@ -57,6 +62,7 @@ class TestQuotaValidation:
             "max_iterations": 7,
             "max_seconds": 1.5,
             "max_sessions": None,
+            "max_cache_bytes": None,
         }
 
 

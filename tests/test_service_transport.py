@@ -91,7 +91,7 @@ class TestVerbRoundTrip:
         assert everyone["sessions"] == ["s"]
         assert everyone["scheduler_workers"] >= 2
         assert set(everyone["quotas"]) == {
-            "max_iterations", "max_seconds", "max_sessions",
+            "max_iterations", "max_seconds", "max_sessions", "max_cache_bytes",
         }
 
         status = client.status("s")

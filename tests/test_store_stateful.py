@@ -10,7 +10,10 @@ constructed from the same parameters. The machine's contract:
   crashes, the served session's trace is a bit-identical prefix of the
   shadow's — a resumed session replays lost iterations exactly;
 - verbs against unknown or duplicate names fail with structured errors,
-  never by corrupting the registry or the store.
+  never by corrupting the registry or the store;
+- squeezing the shared featurization/FD cache to a starvation-level
+  byte budget mid-run (``cache_pressure``) evicts entries but never
+  surfaces an error or changes a single trace byte.
 
 Kept deliberately small (a ~100-row slice, a handful of examples) so the
 sweep stays in tier-1 territory; the exhaustive single-scenario variants
@@ -29,6 +32,7 @@ from hypothesis.stateful import (
     rule,
 )
 
+from repro.cache import DEFAULT_MAX_BYTES, cache_stats, set_cache_budget
 from repro.experiments import Configuration, build_polluted
 from repro.service import CometService
 from repro.service.service import _SessionRecord
@@ -152,6 +156,22 @@ class DurableServiceMachine(RuleBasedStateMachine):
         assert response["result"]["iteration"] <= self.shadow.state.iteration
 
     @rule()
+    def cache_pressure(self) -> None:
+        """Shrink the shared cache to a starvation budget, then restore.
+
+        Eviction is the quota's only enforcement mechanism: no verb may
+        fail, and the next ``step``'s trace bytes (checked by
+        ``_compare_prefix``) must not depend on what survived.
+        """
+        set_cache_budget(16 * 1024)
+        assert cache_stats()["total_bytes"] <= 16 * 1024
+        if self.shadow is not None:
+            response = self.service.handle({"action": "step", "name": "s"})
+            assert response["ok"], response
+            self._compare_prefix()
+        set_cache_budget(DEFAULT_MAX_BYTES)
+
+    @rule()
     def crash_clean(self) -> None:
         """Kill after the write-behind queue drained: nothing is lost."""
         self.store.flush()
@@ -199,6 +219,7 @@ class DurableServiceMachine(RuleBasedStateMachine):
         try:
             self.service.shutdown()
         finally:
+            set_cache_budget(DEFAULT_MAX_BYTES)
             shutil.rmtree(self.root, ignore_errors=True)
 
 
