@@ -13,14 +13,22 @@ written to ``benchmarks/results/BENCH_service_latency.json``:
 3. *Multi-connection throughput* — total ``status`` requests/second
    across 4 concurrent client connections (ThreadingTCPServer's
    one-thread-per-connection scaling).
+4. *Secured path* — the same ``status`` round-trip over a token-
+   authenticated, TLS-wrapped connection, pinning what the HMAC
+   handshake amortizes to and what TLS record framing adds per call
+   (the handshakes are per-connection, the per-call cost is crypto on
+   ~100-byte frames).
 """
 
 import json
+import shutil
+import subprocess
 import threading
 import time
 
 from _helpers import RESULTS_DIR
 
+from repro.security import TransportSecurity
 from repro.service import CometClient, CometService, CometTCPServer
 
 _PARAMS = {
@@ -46,6 +54,55 @@ def _timed_status(client, calls):
         client.status()
         latencies.append(time.perf_counter() - started)
     return latencies
+
+
+def _secured_roundtrip(service, calls=200):
+    """``status`` p50/p95 over a token-authenticated (and, when openssl
+    can mint a cert, TLS-wrapped) connection."""
+    import tempfile
+
+    token = "bench-token"
+    tls = shutil.which("openssl") is not None
+    with tempfile.TemporaryDirectory() as tmp:
+        cert = key = None
+        if tls:
+            cert, key = f"{tmp}/cert.pem", f"{tmp}/key.pem"
+            subprocess.run(
+                [
+                    "openssl", "req", "-x509", "-newkey", "rsa:2048",
+                    "-keyout", key, "-out", cert, "-days", "2", "-nodes",
+                    "-subj", "/CN=localhost",
+                    "-addext", "subjectAltName=IP:127.0.0.1,DNS:localhost",
+                ],
+                check=True,
+                capture_output=True,
+            )
+        server = CometTCPServer(
+            service,
+            security=TransportSecurity(token=token, certfile=cert, keyfile=key),
+        )
+        server.serve_background()
+        try:
+            connect_started = time.perf_counter()
+            with CometClient(
+                server.port,
+                timeout=120,
+                tls=cert if tls else None,
+                auth_token=token,
+            ) as client:
+                connect_s = time.perf_counter() - connect_started
+                secured = _timed_status(client, calls)
+        finally:
+            server.shutdown()
+            server.server_close()
+    return {
+        "calls": len(secured),
+        "p50_s": _percentile(secured, 0.50),
+        "p95_s": _percentile(secured, 0.95),
+        "tls": tls,
+        "auth": "hmac-token",
+        "connect_handshake_s": connect_s,
+    }
 
 
 def test_service_latency_benchmark():
@@ -102,6 +159,8 @@ def test_service_latency_benchmark():
             server.shutdown()
             server.server_close()
 
+        out["status_roundtrip_secured"] = _secured_roundtrip(service)
+
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / "BENCH_service_latency.json"
     path.write_text(json.dumps(out, indent=2) + "\n")
@@ -113,3 +172,6 @@ def test_service_latency_benchmark():
     assert out["status_roundtrip_idle"]["p95_s"] < 0.25
     assert out["status_roundtrip_during_run"]["p95_s"] < 1.0
     assert out["status_throughput"]["requests_per_s"] > 50
+    # Auth + TLS must stay control-plane cheap: same order of magnitude
+    # as the open path, still interactive by a wide margin.
+    assert out["status_roundtrip_secured"]["p95_s"] < 0.25

@@ -24,6 +24,7 @@ from repro.errors import PollutedDataset, Polluter, PrePollution
 from repro.frame import Column, DataFrame
 from repro.kernels import kernel_mode, set_kernel_mode, use_kernels
 from repro.runtime import available_backends, make_backend
+from repro.security import TransportSecurity, generate_token, load_token
 from repro.service import CometClient, CometService, SessionQuotas
 from repro.session import (
     CheckpointVersionError,
@@ -68,5 +69,8 @@ __all__ = [
     "cache_stats",
     "set_cache_budget",
     "clear_shared_cache",
+    "TransportSecurity",
+    "generate_token",
+    "load_token",
     "__version__",
 ]

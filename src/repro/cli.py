@@ -10,8 +10,10 @@ Examples::
     python -m repro serve --port 8765 --workers 4 --max-sessions 8
     python -m repro serve --port 8766 --http
     python -m repro serve --port 8765 --state-dir /var/lib/repro/sessions
+    python -m repro serve --host 0.0.0.0 --port 8765 \
+        --auth-token-file /etc/repro/token --tls-cert cert.pem --tls-key key.pem
     python -m repro worker --connect 127.0.0.1:9000
-    python -m repro worker --listen 0.0.0.0:9001
+    python -m repro worker --listen 0.0.0.0:9001 --auth-token-file /etc/repro/token
     python -m repro resume --checkpoint session.ckpt
     python -m repro sessions list /var/lib/repro/sessions
     python -m repro sessions migrate old-session.ckpt
@@ -129,6 +131,19 @@ def build_parser() -> argparse.ArgumentParser:
              "caches, enforced by LRU eviction (never by failing a "
              "verb); default keeps the built-in 128 MiB budget",
     )
+    srv.add_argument(
+        "--conn-timeout", type=float, default=300.0, metavar="SECONDS",
+        help="per-connection idle timeout for networked serving: a peer "
+             "silent this long has its socket closed so idle connections "
+             "cannot pin handler threads (default: 300; 0 disables)",
+    )
+    srv.add_argument(
+        "--allow-remote-shutdown", action="store_true",
+        help="let non-loopback peers use the shutdown verb on an "
+             "UNauthenticated server (with --auth-token the verb already "
+             "requires the token and this flag is moot)",
+    )
+    _security_args(srv, role="serve")
     _backend_args(srv)
 
     wrk = sub.add_parser(
@@ -165,6 +180,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--once", action="store_true",
         help="--listen: serve exactly one coordinator, then exit",
     )
+    wrk.add_argument(
+        "--tls-ca", metavar="PEM", default=None,
+        help="--connect: verify the coordinator's TLS certificate against "
+             "this CA bundle (point it at a self-signed cert to pin it)",
+    )
+    _security_args(wrk, role="worker")
 
     res = sub.add_parser(
         "resume", help="resume a checkpointed cleaning session and run it out"
@@ -223,6 +244,48 @@ def build_parser() -> argparse.ArgumentParser:
              "(single-file mode only)",
     )
     return parser
+
+
+def _security_args(parser: argparse.ArgumentParser, *, role: str) -> None:
+    """The transport-security flags shared by ``serve`` and ``worker``."""
+    group = parser.add_argument_group(
+        "transport security",
+        "shared-token authentication and TLS (see README 'Securing the "
+        "service'); generate a token with "
+        "\"python -c 'import repro; print(repro.generate_token())'\"",
+    )
+    group.add_argument(
+        "--auth-token", metavar="TOKEN", default=None,
+        help="shared secret peers must prove they hold (HMAC "
+             "challenge-response on socket links, Authorization: Bearer "
+             "over HTTP); prefer --auth-token-file or the "
+             "REPRO_AUTH_TOKEN environment variable, which keep the "
+             "secret out of the process list",
+    )
+    group.add_argument(
+        "--auth-token-file", metavar="PATH", default=None,
+        help="read the shared token from this file's first line "
+             "(chmod 600 it)",
+    )
+    group.add_argument(
+        "--tls-cert", metavar="PEM", default=None,
+        help="serve TLS on accepted connections with this certificate "
+             "(self-signed is fine: clients pin it by using the same "
+             "file as their CA)",
+    )
+    group.add_argument(
+        "--tls-key", metavar="PEM", default=None,
+        help="private key for --tls-cert (omit when the cert file "
+             "contains the key)",
+    )
+    group.add_argument(
+        "--insecure", action="store_true",
+        help=f"allow {role} to bind a non-loopback address without "
+             "authentication (fail-closed is the default: any peer that "
+             "can reach an open port can drive the service"
+             + (", and worker task payloads are pickles - remote code "
+                "execution)" if role == "worker" else ")"),
+    )
 
 
 def _positive_int(text: str) -> int:
@@ -338,11 +401,58 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_security(args: argparse.Namespace, command: str):
+    """Resolve the CLI security flags into a ``TransportSecurity``.
+
+    Returns ``(security_or_None, exit_code_or_None)`` — a misconfigured
+    token source (empty file, empty env var) is an operator error
+    reported on stderr, never a silently-open listener.
+    """
+    from repro.security import TransportSecurity, load_token
+
+    if args.tls_key and not args.tls_cert:
+        print(f"{command}: --tls-key requires --tls-cert", file=sys.stderr)
+        return None, 2
+    try:
+        token = load_token(args.auth_token, args.auth_token_file)
+    except (OSError, ValueError) as exc:
+        print(f"{command}: {exc}", file=sys.stderr)
+        return None, 2
+    cafile = getattr(args, "tls_ca", None)
+    if token is None and args.tls_cert is None and cafile is None:
+        return None, None
+    return (
+        TransportSecurity(
+            token=token,
+            certfile=args.tls_cert,
+            keyfile=args.tls_key,
+            cafile=cafile,
+        ),
+        None,
+    )
+
+
 def _cmd_serve(args: argparse.Namespace, in_stream=None, out_stream=None) -> int:
     """Serve sessions over stdio JSON lines, TCP, or the HTTP adapter."""
+    from repro.security import serve_security_error
+
     if args.http and args.port is None:
         print("serve: --http requires --port", file=sys.stderr)
         return 2
+    security, code = _build_security(args, "serve")
+    if code is not None:
+        return code
+    if args.port is not None:
+        refusal = serve_security_error(
+            args.host,
+            token=security.token if security else None,
+            tls=security.serves_tls if security else False,
+            http=args.http,
+            insecure=args.insecure,
+        )
+        if refusal is not None:
+            print(f"serve: {refusal}", file=sys.stderr)
+            return 2
     quotas = SessionQuotas(
         max_iterations=args.max_iterations,
         max_seconds=args.max_seconds,
@@ -382,11 +492,26 @@ def _cmd_serve(args: argparse.Namespace, in_stream=None, out_stream=None) -> int
             )
             return 0
         server_cls = CometHTTPServer if args.http else CometTCPServer
-        with server_cls(service, (args.host, args.port)) as server:
+        with server_cls(
+            service,
+            (args.host, args.port),
+            security=security,
+            conn_timeout=args.conn_timeout if args.conn_timeout > 0 else None,
+            allow_remote_shutdown=args.allow_remote_shutdown,
+        ) as server:
             kind = "http" if args.http else "tcp"
             # Parseable readiness line: scripts read the bound (possibly
-            # ephemeral) port from here before connecting.
+            # ephemeral) port from here before connecting. Its format is
+            # load-bearing (CI greps it); the security summary goes on
+            # its own line after.
             print(f"serving {kind} on {server.host}:{server.port}", flush=True)
+            if security is not None:
+                print(
+                    "security: "
+                    f"auth={'token' if security.requires_auth else 'off'} "
+                    f"tls={'on' if security.serves_tls else 'off'}",
+                    flush=True,
+                )
             try:
                 server.serve_forever()
             except KeyboardInterrupt:
@@ -400,7 +525,23 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     import socket as _socket
 
     from repro.runtime import listen_worker, run_worker
+    from repro.runtime.wire import parse_address
+    from repro.security import worker_security_error
 
+    security, code = _build_security(args, "worker")
+    if code is not None:
+        return code
+    if args.listen:
+        # Fail fast, before the socket binds: this worker unpickles
+        # frames from whoever completes the handshake.
+        refusal = worker_security_error(
+            parse_address(args.listen)[0],
+            token=security.token if security else None,
+            insecure=args.insecure,
+        )
+        if refusal is not None:
+            print(f"worker: {refusal}", file=sys.stderr)
+            return 2
     worker_id = args.worker_id or f"{_socket.gethostname()}-{os.getpid()}"
     try:
         if args.connect:
@@ -410,6 +551,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
                 worker_id=worker_id,
                 retries=args.retries,
                 backoff=args.backoff,
+                security=security,
             )
         else:
             served = listen_worker(
@@ -422,6 +564,8 @@ def _cmd_worker(args: argparse.Namespace) -> int:
                 ready=lambda address: print(
                     f"worker listening on {address[0]}:{address[1]}", flush=True
                 ),
+                security=security,
+                insecure=args.insecure,
             )
     except KeyboardInterrupt:
         return 0

@@ -21,8 +21,11 @@ subprocesses pointed at its own listener, so
 
 Protocol (one JSON object per line; pickles ride base64 inside)::
 
-    worker → hello     {"op": "hello", "worker": id, "pid", "protocol"}
-    coord  → welcome   {"op": "welcome", "heartbeat": seconds}
+    worker → hello     {"op": "hello", "worker": id, "pid", "protocol"
+                        [, "auth_nonce"]}
+    coord  → welcome   {"op": "welcome", "heartbeat": seconds
+                        [, "auth_mac", "auth_nonce"]}
+    worker → auth      {"op": "auth", "mac"}       (token mode only)
     coord  → task      {"op": "task", "id": n, "payload": b64(pickle)}
     worker → result    {"op": "result", "id": n, "ok": true, "payload"}
                        {"op": "result", "id": n, "ok": false, "error",
@@ -31,8 +34,19 @@ Protocol (one JSON object per line; pickles ride base64 inside)::
                        dedicated thread beats while a task runs)
     coord  → shutdown  {"op": "shutdown"}
 
-Pickles are code execution on both ends: run the protocol only inside a
-trusted cluster (loopback, a private network, an SSH tunnel).
+Pickles are code execution on both ends, so the handshake is *mutual*
+when a shared token is configured (:mod:`repro.security`): the hello
+carries the worker's challenge nonce, the welcome answers it with the
+coordinator's HMAC proof plus the coordinator's own challenge, and the
+worker's ``auth`` frame closes the loop.  The worker verifies the
+coordinator **before entering its task loop** — it never unpickles a
+payload from an unproven peer — and the coordinator verifies the worker
+before registering it for dispatch.  Role labels in the MACs keep one
+direction's transcript from replaying as the other's.  TLS
+(``TransportSecurity`` cert/CA knobs) wraps the sockets underneath the
+framing for links that cross untrusted networks.  Without a token the
+protocol is open: run it only inside a trusted boundary (loopback, a
+private network, an SSH tunnel).
 
 Fault tolerance
 ---------------
@@ -60,6 +74,7 @@ from __future__ import annotations
 import itertools
 import os
 import socket
+import ssl
 import subprocess
 import sys
 import threading
@@ -79,6 +94,15 @@ from repro.runtime.wire import (
     parse_address,
     pickle_to_text,
     text_to_pickle,
+)
+from repro.security import (
+    AUTH_TOKEN_ENV,
+    ROLE_COORDINATOR,
+    ROLE_WORKER,
+    TransportSecurity,
+    is_loopback_host,
+    load_token,
+    new_nonce,
 )
 
 __all__ = [
@@ -184,6 +208,19 @@ class DistributedBackend(ExecutionBackend):
     max_task_retries:
         Worker deaths one task survives before its future fails with
         :class:`WorkerLostError`.
+    security:
+        :class:`~repro.security.TransportSecurity` for every link this
+        coordinator owns.  A token turns on the mutual HMAC handshake
+        (both for dial-in workers and for listeners it dials);
+        ``certfile``/``keyfile`` wrap accepted connections in TLS;
+        ``cafile`` verifies listening workers it dials out to.  Spawned
+        local workers inherit the token through the environment and the
+        coordinator's certificate as their CA, so
+        ``Comet(backend="distributed")`` stays zero-setup.
+    insecure:
+        Allow a non-loopback ``listen`` without a token.  The default
+        refuses (fail-closed): the task protocol unpickles payloads,
+        which is code execution for any peer that can reach the port.
 
     The backend is thread-safe: concurrent ``map`` calls (the service
     topology — many sessions, one shared backend) interleave their tasks
@@ -207,9 +244,22 @@ class DistributedBackend(ExecutionBackend):
         max_frame: int = DEFAULT_MAX_TASK_FRAME,
         inline_fallback: bool = True,
         max_task_retries: int = 3,
+        security: TransportSecurity | None = None,
+        insecure: bool = False,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        token = security.token if security is not None else None
+        if not token and not insecure and not is_loopback_host(listen[0]):
+            raise ValueError(
+                f"refusing to coordinate on non-loopback host {listen[0]!r} "
+                "without authentication: the task protocol unpickles "
+                "payloads, which is code execution for any peer that can "
+                "reach the port. Pass security=TransportSecurity(token=...) "
+                f"(or set {AUTH_TOKEN_ENV}), or insecure=True to accept "
+                "the risk."
+            )
+        self.security = security
         self.workers = jobs
         self.connect = [self._normalize(a) for a in (connect or [])]
         self.listen = listen
@@ -255,11 +305,22 @@ class DistributedBackend(ExecutionBackend):
 
     @classmethod
     def from_env(cls, jobs: int = 2, **kwargs) -> "DistributedBackend":
-        """Build with ``connect`` taken from ``REPRO_DISTRIBUTED_CONNECT``."""
+        """Build with ``connect`` taken from ``REPRO_DISTRIBUTED_CONNECT``
+        and the shared token from ``REPRO_AUTH_TOKEN``.
+
+        This is how ``Comet(backend="distributed")`` picks up security
+        with zero code changes: export the token and every link —
+        coordinator listener, dialed workers, spawned local workers —
+        authenticates with it.
+        """
         if "connect" not in kwargs:
             raw = os.environ.get(CONNECT_ENV, "")
             addresses = [part.strip() for part in raw.split(",") if part.strip()]
             kwargs["connect"] = addresses or None
+        if "security" not in kwargs:
+            token = load_token()
+            if token is not None:
+                kwargs["security"] = TransportSecurity(token=token)
         return cls(jobs, **kwargs)
 
     # ------------------------------------------------------------------ #
@@ -364,6 +425,15 @@ class DistributedBackend(ExecutionBackend):
         env["PYTHONPATH"] = os.pathsep.join(
             p for p in (package_parent, env.get("PYTHONPATH")) if p
         )
+        extra: list[str] = []
+        if self.security is not None:
+            if self.security.token:
+                # Through the environment, never argv: /proc/<pid>/cmdline
+                # is world-readable.
+                env[AUTH_TOKEN_ENV] = self.security.token
+            if self.security.serves_tls:
+                # Our own certificate is the workers' CA: that pins it.
+                extra += ["--tls-ca", self.security.certfile]
         for index in range(count):
             self._procs.append(
                 subprocess.Popen(
@@ -376,6 +446,7 @@ class DistributedBackend(ExecutionBackend):
                         f"{host}:{port}",
                         "--id",
                         f"local-{index}",
+                        *extra,
                     ],
                     env=env,
                     stdout=subprocess.DEVNULL,
@@ -386,6 +457,10 @@ class DistributedBackend(ExecutionBackend):
         """Connect out to one listening worker (``connect`` topology)."""
         try:
             sock = socket.create_connection(address, timeout=self.handshake_timeout)
+            if self.security is not None and self.security.dials_tls:
+                sock = self.security.wrap_client(
+                    sock, server_hostname=address[0]
+                )
         except OSError as exc:
             raise ConnectionError(
                 f"cannot reach worker at {format_address(address)}: {exc}"
@@ -405,6 +480,14 @@ class DistributedBackend(ExecutionBackend):
                 sock, _ = listener.accept()
             except OSError:
                 return  # listener closed by shutdown
+            if self.security is not None and self.security.serves_tls:
+                # Handshake deferred to the reader thread — a hostile
+                # peer must not stall the accept loop.
+                try:
+                    sock = self.security.wrap_server(sock)
+                except OSError:
+                    sock.close()
+                    continue
             conn = JSONLineConnection(sock, self.max_frame)
             self._spawn_thread(
                 lambda c=conn: self._serve_connection(c), "repro-dist-reader"
@@ -412,6 +495,13 @@ class DistributedBackend(ExecutionBackend):
 
     def _serve_connection(self, conn: JSONLineConnection) -> None:
         """Handshake one connection, then pump its frames until it dies."""
+        if isinstance(conn.sock, ssl.SSLSocket) and conn.sock.server_side:
+            conn.sock.settimeout(self.handshake_timeout)
+            try:
+                conn.sock.do_handshake()
+            except OSError:
+                conn.close()
+                return  # peer does not speak TLS
         worker = self._handshake(conn)
         if worker is None:
             conn.close()
@@ -430,6 +520,7 @@ class DistributedBackend(ExecutionBackend):
 
     def _handshake(self, conn: JSONLineConnection) -> _Worker | None:
         conn.sock.settimeout(self.handshake_timeout)
+        security = self.security
         try:
             hello = conn.recv()
             if not hello or hello.get("op") != "hello":
@@ -443,7 +534,43 @@ class DistributedBackend(ExecutionBackend):
                     }
                 )
                 return None
-            conn.send({"op": "welcome", "heartbeat": self.heartbeat})
+            welcome: dict = {"op": "welcome", "heartbeat": self.heartbeat}
+            if security is not None and security.requires_auth:
+                # Mutual challenge–response: answer the worker's nonce
+                # (proving *we* hold the token before it will unpickle
+                # anything from us), challenge it back, and verify its
+                # proof before it is registered for dispatch.
+                worker_nonce = hello.get("auth_nonce")
+                if not isinstance(worker_nonce, str) or not worker_nonce:
+                    conn.send(
+                        {
+                            "op": "goodbye",
+                            "reason": "authentication required: configure "
+                            "the shared token (repro worker --auth-token/"
+                            f"--auth-token-file or {AUTH_TOKEN_ENV})",
+                        }
+                    )
+                    return None
+                coordinator_nonce = new_nonce()
+                welcome["auth_mac"] = security.mac(
+                    ROLE_COORDINATOR, worker_nonce
+                )
+                welcome["auth_nonce"] = coordinator_nonce
+                conn.send(welcome)
+                proof = conn.recv()
+                if (
+                    not proof
+                    or proof.get("op") != "auth"
+                    or not security.check_mac(
+                        ROLE_WORKER, coordinator_nonce, proof.get("mac")
+                    )
+                ):
+                    conn.send(
+                        {"op": "goodbye", "reason": "invalid auth credential"}
+                    )
+                    return None
+            else:
+                conn.send(welcome)
         except (FrameError, OSError):
             return None
         conn.sock.settimeout(None)
@@ -731,34 +858,72 @@ def worker_serve(
     conn: JSONLineConnection,
     *,
     worker_id: str = "worker",
+    security: TransportSecurity | None = None,
     _fail_after_tasks: int | None = None,
     _mute: bool = False,
 ) -> int:
     """Serve one coordinator over an established connection.
 
-    Performs the hello/welcome handshake, starts the heartbeat thread
-    (which beats *during* task execution — liveness is orthogonal to
-    progress), then loops task → result until the coordinator says
-    ``shutdown`` or the connection ends.  Returns the number of tasks
-    completed.
+    Performs the hello/welcome handshake — *mutual* when ``security``
+    carries a token: the hello ships a challenge nonce the coordinator
+    must answer in its welcome, and an unproven coordinator is refused
+    **before the task loop starts**, so this worker never unpickles a
+    payload from a peer that has not demonstrated token possession.
+    Then starts the heartbeat thread (which beats *during* task
+    execution — liveness is orthogonal to progress) and loops
+    task → result until the coordinator says ``shutdown`` or the
+    connection ends.  Returns the number of tasks completed.
 
     ``_fail_after_tasks`` and ``_mute`` are failure-injection hooks for
     the fault-tolerance tests: the former makes the worker drop its
     connection (simulated crash) when task ``n + 1`` arrives, the latter
     suppresses heartbeats so eviction-by-silence can be exercised.
     """
-    conn.send(
-        {
+    try:
+        challenge = (
+            new_nonce()
+            if security is not None and security.requires_auth
+            else None
+        )
+        hello = {
             "op": "hello",
             "worker": worker_id,
             "pid": os.getpid(),
             "protocol": PROTOCOL_VERSION,
         }
-    )
-    welcome = conn.recv()
-    if not welcome or welcome.get("op") != "welcome":
-        reason = (welcome or {}).get("reason", "no welcome frame")
-        raise ConnectionError(f"coordinator rejected worker: {reason}")
+        if challenge is not None:
+            hello["auth_nonce"] = challenge
+        conn.send(hello)
+        welcome = conn.recv()
+        if not welcome or welcome.get("op") != "welcome":
+            reason = (welcome or {}).get("reason", "no welcome frame")
+            raise ConnectionError(f"coordinator rejected worker: {reason}")
+        if challenge is not None:
+            if not security.check_mac(
+                ROLE_COORDINATOR, challenge, welcome.get("auth_mac")
+            ):
+                raise ConnectionError(
+                    "coordinator failed authentication: its welcome does "
+                    "not prove possession of the shared token; refusing to "
+                    "accept tasks (payloads are pickles — code execution)"
+                )
+            coordinator_nonce = welcome.get("auth_nonce")
+            if not isinstance(coordinator_nonce, str) or not coordinator_nonce:
+                raise ConnectionError(
+                    "coordinator sent no auth challenge of its own; "
+                    "refusing a one-sided handshake"
+                )
+            conn.send(
+                {
+                    "op": "auth",
+                    "mac": security.mac(ROLE_WORKER, coordinator_nonce),
+                }
+            )
+    except BaseException:
+        # A refused peer must see EOF, not a half-open socket it can
+        # keep feeding frames into.
+        conn.close()
+        raise
     interval = float(welcome.get("heartbeat", 1.0))
     stop_beating = threading.Event()
 
@@ -799,13 +964,16 @@ def run_worker(
     retries: int = 60,
     backoff: float = 0.25,
     max_frame: int = DEFAULT_MAX_TASK_FRAME,
+    security: TransportSecurity | None = None,
 ) -> int:
     """Dial a coordinator (with bounded connect retries) and serve it.
 
     The retry loop tolerates the common startup race — worker processes
     launched a moment before the coordinator binds its listener — by
     retrying refused connections with linear backoff for up to
-    ``retries × backoff`` seconds.  Returns the number of tasks served.
+    ``retries × backoff`` seconds.  A failed TLS handshake is *not*
+    retried (it is a configuration mismatch, not a startup race).
+    Returns the number of tasks served.
     """
     address = (
         parse_address(connect) if isinstance(connect, str) else connect
@@ -823,9 +991,20 @@ def run_worker(
             f"cannot reach coordinator at {format_address(address)} "
             f"after {retries} attempts: {last_error}"
         )
+    if security is not None and security.dials_tls:
+        try:
+            sock = security.wrap_client(sock, server_hostname=address[0])
+        except OSError as exc:
+            sock.close()
+            raise ConnectionError(
+                f"TLS handshake with coordinator at "
+                f"{format_address(address)} failed: {exc}"
+            ) from exc
     sock.settimeout(None)
     return worker_serve(
-        JSONLineConnection(sock, max_frame), worker_id=worker_id
+        JSONLineConnection(sock, max_frame),
+        worker_id=worker_id,
+        security=security,
     )
 
 
@@ -836,6 +1015,8 @@ def listen_worker(
     max_frame: int = DEFAULT_MAX_TASK_FRAME,
     once: bool = False,
     ready: Callable[[tuple[str, int]], None] | None = None,
+    security: TransportSecurity | None = None,
+    insecure: bool = False,
 ) -> int:
     """Listen for coordinators and serve them one at a time.
 
@@ -845,8 +1026,22 @@ def listen_worker(
     address (the CLI prints its readiness line from it).  Serves
     coordinators sequentially until interrupted, or exactly one with
     ``once=True``.  Returns the total number of tasks served.
+
+    Fail-closed: a non-loopback ``listen`` without a shared token
+    raises :class:`ValueError` before the socket is even bound — this
+    path unpickles whatever an accepted peer sends — unless
+    ``insecure`` explicitly accepts the exposure.
     """
     address = parse_address(listen) if isinstance(listen, str) else listen
+    token = security.token if security is not None else None
+    if not token and not insecure and not is_loopback_host(address[0]):
+        raise ValueError(
+            f"refusing to listen on non-loopback host {address[0]!r} "
+            "without authentication: the task protocol unpickles payloads, "
+            "which is code execution for any peer that can reach --listen. "
+            f"Set --auth-token/--auth-token-file (or {AUTH_TOKEN_ENV}), "
+            "or pass --insecure to accept the risk."
+        )
     total = 0
     with socket.create_server(address, backlog=2) as listener:
         if ready is not None:
@@ -854,9 +1049,20 @@ def listen_worker(
         while True:
             sock, _ = listener.accept()
             sock.settimeout(None)
+            if security is not None and security.serves_tls:
+                try:
+                    sock = security.wrap_server(sock)
+                    sock.settimeout(30.0)
+                    sock.do_handshake()
+                    sock.settimeout(None)
+                except OSError:
+                    sock.close()
+                    continue  # peer does not speak TLS
             try:
                 total += worker_serve(
-                    JSONLineConnection(sock, max_frame), worker_id=worker_id
+                    JSONLineConnection(sock, max_frame),
+                    worker_id=worker_id,
+                    security=security,
                 )
             except (ConnectionError, FrameError, OSError):
                 pass  # a vanished coordinator ends its pairing, not the worker

@@ -15,9 +15,12 @@ Helpers come in three groups:
   with :func:`frame_error`, peers treat it as a protocol breach).
 - *payloads*: :func:`pickle_to_text` / :func:`text_to_pickle` embed
   binary pickles (tasks, results) in JSON frames via base64.  Only
-  exchange pickles with peers you trust — unpickling hostile bytes is
-  code execution, which is why the distributed protocol is documented
-  as a trusted-cluster transport.
+  exchange pickles with peers that have proven themselves: unpickling
+  hostile bytes is code execution.  :mod:`repro.security` supplies the
+  proof — a mutual HMAC handshake gates the distributed protocol before
+  any payload is decoded, and optional TLS wraps the socket *beneath*
+  this framing, so nothing in this module changes when a link is
+  secured.
 - *addresses*: :func:`parse_address` / :func:`format_address` for the
   ``host:port`` strings the CLI and environment variables use.
 """

@@ -1,0 +1,324 @@
+"""Transport security shared by every networked layer.
+
+Both networked subsystems — the service transports
+(:mod:`repro.service.transport`) and the distributed execution backend
+(:mod:`repro.runtime.distributed`) — move requests and pickled task
+payloads over plain sockets.  This module is the one place their
+security knobs live, so ``serve`` and ``repro worker`` harden the same
+way:
+
+- **Shared-token authentication.**  A single secret string (generate
+  one with :func:`generate_token`) is configured on every peer —
+  ``serve --auth-token/--auth-token-file``, ``repro worker
+  --auth-token/--auth-token-file``, or the ``REPRO_AUTH_TOKEN``
+  environment variable (:func:`load_token`).  Socket peers prove
+  possession via an HMAC-SHA256 challenge–response
+  (:func:`compute_mac` / :func:`verify_mac` over a single-use
+  :func:`new_nonce`), so the token itself never crosses the wire on
+  the JSON-lines transports; the HTTP adapter uses a conventional
+  ``Authorization: Bearer`` header instead (TLS recommended there).
+  Unauthenticated peers get the structured ``code: "unauthorized"``
+  error before any verb is dispatched or any pickle is decoded.
+- **Optional TLS.**  :class:`TransportSecurity` wraps sockets through
+  ``ssl.SSLContext`` at the socket layer, underneath the JSON-lines
+  framing (:mod:`repro.runtime.wire` is unchanged).  Self-signed
+  deployments pin the peer certificate by handing the listener's cert
+  to the dialing side as its CA bundle (``CometClient(tls=...)``,
+  ``worker --tls-ca``).
+- **Fail-closed binds.**  Binding a non-loopback interface without a
+  token refuses to start (:func:`serve_security_error` /
+  :func:`worker_security_error`) unless ``--insecure`` is passed —
+  the distributed task protocol exchanges pickles, which are code
+  execution for whoever can reach the port.
+
+Everything here is stdlib-only (``hmac``, ``secrets``, ``ssl``) and
+imports nothing from the rest of ``repro``, so the lowest networked
+layer (``repro.runtime``) can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import hmac
+import hashlib
+import os
+import secrets
+import socket
+import ssl
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "AUTH_TOKEN_ENV",
+    "TransportSecurity",
+    "load_token",
+    "generate_token",
+    "new_nonce",
+    "compute_mac",
+    "verify_mac",
+    "is_loopback_host",
+    "serve_security_error",
+    "worker_security_error",
+    "ROLE_CLIENT",
+    "ROLE_COORDINATOR",
+    "ROLE_WORKER",
+]
+
+#: Environment variable consulted by :func:`load_token` when neither an
+#: explicit token nor a token file is given.
+AUTH_TOKEN_ENV = "REPRO_AUTH_TOKEN"
+
+#: Challenge–response role labels.  The role is mixed into the MAC so a
+#: transcript from one direction (say, a worker proving itself to a
+#: coordinator) can never be replayed as the other direction's proof.
+ROLE_CLIENT = "client"
+ROLE_COORDINATOR = "coordinator"
+ROLE_WORKER = "worker"
+
+
+def generate_token(nbytes: int = 32) -> str:
+    """A fresh random shared token (hex; safe for files and env vars)."""
+    return secrets.token_hex(nbytes)
+
+
+def new_nonce() -> str:
+    """A single-use challenge nonce (hex)."""
+    return secrets.token_hex(16)
+
+
+def compute_mac(token: str, role: str, nonce: str) -> str:
+    """HMAC-SHA256 proof that ``role`` holds ``token``, bound to ``nonce``."""
+    message = f"comet-auth:{role}:{nonce}".encode("utf-8")
+    return hmac.new(token.encode("utf-8"), message, hashlib.sha256).hexdigest()
+
+
+def verify_mac(token: str, role: str, nonce: str, mac) -> bool:
+    """Constant-time check of a :func:`compute_mac` proof."""
+    if not isinstance(mac, str) or not mac:
+        return False
+    return hmac.compare_digest(compute_mac(token, role, nonce), mac)
+
+
+def load_token(
+    token: str | None = None,
+    token_file: str | Path | None = None,
+    *,
+    env: bool = True,
+) -> str | None:
+    """Resolve the shared auth token from flag, file, or environment.
+
+    Precedence: an explicit ``token`` wins, then ``token_file`` (first
+    line, stripped — the file should be ``chmod 600``), then the
+    ``REPRO_AUTH_TOKEN`` environment variable.  Returns ``None`` when no
+    source is configured; raises :class:`ValueError` when a configured
+    source yields an empty token (an empty secret is a misconfiguration,
+    never a valid credential).
+    """
+    if token is not None:
+        cleaned = token.strip()
+        if not cleaned:
+            raise ValueError("auth token is empty")
+        return cleaned
+    if token_file is not None:
+        text = Path(token_file).read_text(encoding="utf-8").strip()
+        if not text:
+            raise ValueError(f"auth token file {token_file} is empty")
+        return text.splitlines()[0].strip()
+    if env:
+        raw = os.environ.get(AUTH_TOKEN_ENV)
+        if raw is not None:
+            cleaned = raw.strip()
+            if not cleaned:
+                raise ValueError(f"{AUTH_TOKEN_ENV} is set but empty")
+            return cleaned
+    return None
+
+
+def is_loopback_host(host: str) -> bool:
+    """Whether ``host`` names only the loopback interface.
+
+    Wildcard binds (``0.0.0.0``, ``::``, the empty string) include
+    non-loopback interfaces and therefore return False — the fail-closed
+    checks treat them as remote-reachable.
+    """
+    if host in ("localhost", "::1"):
+        return True
+    if host.startswith("127."):
+        return True
+    return False
+
+
+@dataclass(frozen=True)
+class TransportSecurity:
+    """The security configuration one networked peer runs with.
+
+    Parameters
+    ----------
+    token:
+        Shared secret for peer authentication (``None`` disables auth).
+    certfile, keyfile:
+        PEM certificate/key presented when this peer accepts TLS
+        connections (server side).  ``keyfile`` may be ``None`` when the
+        certificate file also contains the key.
+    cafile:
+        CA bundle used to verify the remote end when this peer *dials*
+        TLS connections.  For self-signed deployments, point it at the
+        listener's certificate itself — that pins the exact cert.
+    tls:
+        Whether dialed connections use TLS.  ``None`` (default) infers
+        it from ``cafile``; pass ``True`` with no ``cafile`` to verify
+        against the system CA store.
+    verify:
+        Set False to skip certificate verification on dialed
+        connections (testing only; the token still authenticates).
+    """
+
+    token: str | None = None
+    certfile: str | None = None
+    keyfile: str | None = None
+    cafile: str | None = None
+    tls: bool | None = None
+    verify: bool = True
+
+    # ------------------------------------------------------------------ #
+    # capability flags
+    # ------------------------------------------------------------------ #
+    @property
+    def requires_auth(self) -> bool:
+        """Whether peers must pass the token challenge."""
+        return bool(self.token)
+
+    @property
+    def serves_tls(self) -> bool:
+        """Whether accepted connections are wrapped in TLS."""
+        return self.certfile is not None
+
+    @property
+    def dials_tls(self) -> bool:
+        """Whether outgoing connections are wrapped in TLS."""
+        if self.tls is not None:
+            return self.tls
+        return self.cafile is not None
+
+    # ------------------------------------------------------------------ #
+    # challenge–response
+    # ------------------------------------------------------------------ #
+    def mac(self, role: str, nonce: str) -> str:
+        """This peer's proof for ``nonce`` (requires a token)."""
+        if not self.token:
+            raise ValueError("no auth token configured")
+        return compute_mac(self.token, role, nonce)
+
+    def check_mac(self, role: str, nonce: str, mac) -> bool:
+        """Verify a peer's proof (False when no token is configured)."""
+        if not self.token:
+            return False
+        return verify_mac(self.token, role, nonce, mac)
+
+    def check_bearer(self, header) -> bool:
+        """Verify an HTTP ``Authorization: Bearer <token>`` header."""
+        if not self.token or not isinstance(header, str):
+            return False
+        scheme, _, credential = header.partition(" ")
+        if scheme.lower() != "bearer":
+            return False
+        return hmac.compare_digest(self.token, credential.strip())
+
+    # ------------------------------------------------------------------ #
+    # TLS wrapping (the framing above the socket is unchanged)
+    # ------------------------------------------------------------------ #
+    def server_context(self) -> ssl.SSLContext:
+        """The ``SSLContext`` used for accepted connections."""
+        if self.certfile is None:
+            raise ValueError("no TLS certificate configured")
+        context = ssl.SSLContext(ssl.PROTOCOL_TLS_SERVER)
+        context.load_cert_chain(self.certfile, self.keyfile)
+        return context
+
+    def client_context(self) -> ssl.SSLContext:
+        """The ``SSLContext`` used for dialed connections."""
+        context = ssl.create_default_context(cafile=self.cafile)
+        if not self.verify:
+            context.check_hostname = False
+            context.verify_mode = ssl.CERT_NONE
+        return context
+
+    def wrap_server(self, sock: socket.socket) -> ssl.SSLSocket:
+        """Wrap an accepted socket; the handshake is deferred.
+
+        ``do_handshake_on_connect=False`` keeps the (potentially slow or
+        hostile) handshake out of the accept loop — the per-connection
+        handler performs it on its own thread via ``do_handshake()``.
+        """
+        return self.server_context().wrap_socket(
+            sock, server_side=True, do_handshake_on_connect=False
+        )
+
+    def wrap_client(
+        self, sock: socket.socket, server_hostname: str
+    ) -> ssl.SSLSocket:
+        """Wrap a dialed socket (handshake happens immediately)."""
+        return self.client_context().wrap_socket(
+            sock, server_hostname=server_hostname
+        )
+
+
+# ---------------------------------------------------------------------- #
+# fail-closed bind policy
+# ---------------------------------------------------------------------- #
+def serve_security_error(
+    host: str,
+    *,
+    token: str | None,
+    tls: bool,
+    http: bool = False,
+    insecure: bool = False,
+) -> str | None:
+    """Why a ``serve`` bind must refuse to start, or ``None`` if it may.
+
+    Non-loopback binds require a token (any peer that can reach the port
+    could otherwise drive — and shut down — the service), and a
+    non-loopback HTTP bind additionally requires TLS (the Bearer token
+    would cross the network in cleartext).  ``insecure`` waives both.
+    """
+    if insecure or is_loopback_host(host):
+        return None
+    if not token:
+        return (
+            f"refusing to serve on non-loopback host {host!r} without "
+            "authentication: any peer that can reach the port could drive "
+            "or shut down the service. Set --auth-token/--auth-token-file "
+            f"(or {AUTH_TOKEN_ENV}), or pass --insecure to accept the risk."
+        )
+    if http and not tls:
+        return (
+            f"refusing to serve HTTP on non-loopback host {host!r} without "
+            "TLS: the Authorization bearer token would cross the network "
+            "in cleartext. Set --tls-cert/--tls-key, or pass --insecure "
+            "to accept the risk."
+        )
+    return None
+
+
+def worker_security_error(
+    host: str,
+    *,
+    token: str | None,
+    insecure: bool = False,
+) -> str | None:
+    """Why a ``repro worker --listen`` bind must refuse, or ``None``.
+
+    A listening worker unpickles task payloads from whoever completes
+    the handshake — arbitrary code execution — so a non-loopback bind
+    without a token is never allowed to start silently.
+    """
+    if insecure or is_loopback_host(host):
+        return None
+    if not token:
+        return (
+            f"refusing to listen on non-loopback host {host!r} without "
+            "authentication: the task protocol unpickles payloads, which "
+            "is code execution for any peer that can reach --listen. Set "
+            f"--auth-token/--auth-token-file (or {AUTH_TOKEN_ENV}), or "
+            "pass --insecure to accept the risk."
+        )
+    return None

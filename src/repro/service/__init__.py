@@ -14,6 +14,11 @@ JSON-lines stream loop (CLI ``serve`` on stdio), the line-delimited-JSON
 :class:`CometTCPServer` (CLI ``serve --port``), and the minimal
 :class:`CometHTTPServer` adapter (``serve --port --http``).
 :class:`CometClient` is the programmatic TCP client.
+
+The networked transports take a
+:class:`~repro.security.TransportSecurity` (shared-token HMAC auth +
+optional TLS); unauthorized requests surface as
+:class:`UnauthorizedError` payloads without consuming quota.
 """
 
 from repro.service.quotas import (
@@ -21,9 +26,15 @@ from repro.service.quotas import (
     ServiceError,
     SessionBusyError,
     SessionQuotas,
+    UnauthorizedError,
 )
 from repro.service.scheduler import SessionScheduler
-from repro.service.service import CometService, dispatch_line, serve_stream
+from repro.service.service import (
+    CometService,
+    dispatch_line,
+    parse_request,
+    serve_stream,
+)
 from repro.service.transport import (
     CometClient,
     CometClientError,
@@ -36,11 +47,13 @@ __all__ = [
     "CometService",
     "serve_stream",
     "dispatch_line",
+    "parse_request",
     "SessionScheduler",
     "SessionQuotas",
     "ServiceError",
     "QuotaExceededError",
     "SessionBusyError",
+    "UnauthorizedError",
     "CometTCPServer",
     "CometHTTPServer",
     "CometClient",

@@ -32,6 +32,7 @@ __all__ = [
     "ServiceError",
     "QuotaExceededError",
     "SessionBusyError",
+    "UnauthorizedError",
     "error_payload",
 ]
 
@@ -62,6 +63,19 @@ class SessionBusyError(ServiceError):
     """An iteration verb raced an in-flight one on the same session."""
 
     code = "session_busy"
+
+
+class UnauthorizedError(ServiceError):
+    """The caller has not (or not successfully) authenticated.
+
+    Raised/rendered by the transports *before* a verb is dispatched, so
+    an unauthorized request never consumes quota, touches the scheduler,
+    or reaches session state. ``details`` may carry the mechanism the
+    transport expects (``auth`` verb challenge–response over TCP,
+    ``Authorization: Bearer`` over HTTP).
+    """
+
+    code = "unauthorized"
 
 
 def error_payload(exc: BaseException) -> dict:

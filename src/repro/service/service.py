@@ -49,7 +49,7 @@ from repro.service.scheduler import SessionScheduler
 from repro.session import CleaningSession, SessionObserver, SessionState
 from repro.store import SessionStore
 
-__all__ = ["CometService", "serve_stream", "dispatch_line"]
+__all__ = ["CometService", "serve_stream", "dispatch_line", "parse_request"]
 
 
 @dataclass
@@ -710,42 +710,54 @@ def _required(mapping: dict, key: str):
     return value
 
 
+def parse_request(text: str) -> tuple[dict | None, dict | None]:
+    """Decode one line-delimited JSON request.
+
+    Returns ``(request, None)`` for a valid JSON-object request, or
+    ``(None, error_response)`` for invalid JSON / non-object frames —
+    the shared first stage of every transport, split out so transports
+    that gate requests (authentication, shutdown policy) can act
+    between parsing and dispatch.
+    """
+    try:
+        request = json.loads(text)
+    except json.JSONDecodeError as exc:
+        return None, {
+            "ok": False,
+            "error": {
+                "type": "JSONDecodeError",
+                "message": f"invalid JSON: {exc}",
+                "code": "bad_frame",
+            },
+        }
+    if not isinstance(request, dict):
+        return None, {
+            "ok": False,
+            "error": {
+                "type": "TypeError",
+                "message": "request must be a JSON object",
+                "code": "bad_frame",
+            },
+        }
+    return request, None
+
+
 def dispatch_line(
     service: CometService, text: str, *, client: str = "local"
 ) -> tuple[dict, bool]:
     """Decode one line-delimited JSON request and dispatch it.
 
-    The shared framing of every transport (stdio, TCP): invalid JSON
-    and non-object requests become structured error responses instead
-    of terminating the serving loop. Returns ``(response, stop)`` where
-    ``stop`` is True for the stream-level ``shutdown`` verb.
+    The shared framing of the trusted transports (stdio, programmatic):
+    invalid JSON and non-object requests become structured error
+    responses instead of terminating the serving loop. Returns
+    ``(response, stop)`` where ``stop`` is True for the stream-level
+    ``shutdown`` verb. The TCP/HTTP transports use :func:`parse_request`
+    directly so authentication and shutdown policy run between parsing
+    and dispatch.
     """
-    try:
-        request = json.loads(text)
-    except json.JSONDecodeError as exc:
-        return (
-            {
-                "ok": False,
-                "error": {
-                    "type": "JSONDecodeError",
-                    "message": f"invalid JSON: {exc}",
-                    "code": "bad_frame",
-                },
-            },
-            False,
-        )
-    if not isinstance(request, dict):
-        return (
-            {
-                "ok": False,
-                "error": {
-                    "type": "TypeError",
-                    "message": "request must be a JSON object",
-                    "code": "bad_frame",
-                },
-            },
-            False,
-        )
+    request, error = parse_request(text)
+    if error is not None:
+        return error, False
     if request.get("action") == "shutdown":
         return {"ok": True, "result": {"shutdown": True}}, True
     return service.handle(request, client=client), False

@@ -17,11 +17,23 @@ session state.
   transport; verb methods unwrap ``result`` or raise
   :class:`CometClientError` carrying the server's structured error.
 
+Both servers take a :class:`~repro.security.TransportSecurity`: with a
+shared token configured, TCP connections must pass an HMAC
+challenge–response (the transport-level ``auth`` verb) and HTTP
+requests an ``Authorization: Bearer`` check *before any verb is
+dispatched* — unauthorized requests never consume quota or touch the
+scheduler, they get the structured ``code: "unauthorized"`` error. A
+TLS certificate wraps every accepted connection at the socket layer
+(the JSON framing above it is unchanged).
+
 Both servers honor the stream-level ``shutdown`` verb (``POST
 /shutdown`` over HTTP): the response is sent, then ``serve_forever``
 returns — which is how the CLI's ``serve --port`` terminates cleanly
-from a remote request. Quota accounting keys on the peer host, so every
-connection from one machine shares that client's session allowance.
+from a remote request. On an unauthenticated server the verb is
+accepted only from loopback peers (``allow_remote_shutdown`` opts out);
+with auth enabled it requires a valid token like every other verb.
+Quota accounting keys on the peer host, so every connection from one
+machine shares that client's session allowance.
 """
 
 from __future__ import annotations
@@ -29,6 +41,7 @@ from __future__ import annotations
 import json
 import socket
 import socketserver
+import ssl
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -40,8 +53,15 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 # to serving untrusted request streams.
 from repro.runtime.wire import DEFAULT_MAX_FRAME, encode_frame
 from repro.runtime.wire import frame_error as _frame_error
-from repro.service.quotas import ServiceError
-from repro.service.service import CometService, dispatch_line
+from repro.security import (
+    ROLE_CLIENT,
+    TransportSecurity,
+    compute_mac,
+    is_loopback_host,
+    new_nonce,
+)
+from repro.service.quotas import ServiceError, UnauthorizedError, error_payload
+from repro.service.service import CometService, parse_request
 
 __all__ = [
     "CometTCPServer",
@@ -51,6 +71,11 @@ __all__ = [
     "CometConnectionError",
     "DEFAULT_MAX_FRAME",
 ]
+
+
+def _unauthorized_response(message: str, **details) -> dict:
+    """The structured error an unauthorized request gets."""
+    return {"ok": False, "error": error_payload(UnauthorizedError(message, **details))}
 
 #: Verbs the HTTP adapter exposes as ``POST /<verb>``.
 _HTTP_VERBS = (
@@ -81,10 +106,16 @@ class _CometServerMixin:
         *,
         max_frame: int,
         thread_name: str,
+        security: TransportSecurity | None = None,
+        conn_timeout: float | None = None,
+        allow_remote_shutdown: bool = False,
     ) -> None:
         super().__init__(address, handler)
         self.service = service
         self.max_frame = max_frame
+        self.security = security
+        self.conn_timeout = conn_timeout
+        self.allow_remote_shutdown = allow_remote_shutdown
         self._thread_name = thread_name
 
     @property
@@ -94,6 +125,30 @@ class _CometServerMixin:
     @property
     def port(self) -> int:
         return self.server_address[1]
+
+    def get_request(self):
+        """Accept one connection, TLS-wrapping it when configured.
+
+        The wrap defers the handshake (``do_handshake_on_connect=False``)
+        so a slow or hostile peer cannot stall the accept loop — the
+        per-connection handler thread performs it.
+        """
+        sock, addr = super().get_request()
+        if self.security is not None and self.security.serves_tls:
+            sock = self.security.wrap_server(sock)
+        return sock, addr
+
+    def shutdown_allowed(self, client_host: str) -> bool:
+        """Whether a ``shutdown`` request from ``client_host`` may stop us.
+
+        With auth enabled, reaching the verb already required a valid
+        token, so any authenticated caller qualifies. Without auth, only
+        loopback peers may stop the server unless
+        ``allow_remote_shutdown`` opts remote peers in.
+        """
+        if self.security is not None and self.security.requires_auth:
+            return True
+        return self.allow_remote_shutdown or is_loopback_host(client_host)
 
     def request_shutdown(self) -> None:
         """Stop ``serve_forever`` without joining the caller's thread."""
@@ -112,17 +167,44 @@ class _CometServerMixin:
 # TCP: line-delimited JSON
 # ---------------------------------------------------------------------- #
 class _TCPHandler(socketserver.StreamRequestHandler):
-    """One connection: a loop of JSON lines, resilient to bad frames."""
+    """One connection: a loop of JSON lines, resilient to bad frames.
+
+    The connection-level state the handler threads through the loop:
+
+    - an **idle timeout** (``server.conn_timeout``): a peer silent past
+      it gets its socket closed cleanly, so silent connections cannot
+      pin ``ThreadingTCPServer`` handler threads forever;
+    - the **TLS handshake**, performed here (not in the accept loop)
+      when the server wraps connections;
+    - the **auth state**: with a token configured, the connection starts
+      unauthenticated and must complete the ``auth`` challenge–response
+      before any service verb is dispatched.
+    """
+
+    def setup(self) -> None:  # noqa: D102 — socketserver hook
+        # StreamRequestHandler applies ``self.timeout`` to the socket;
+        # shadow the class attribute with the server's idle timeout so
+        # every read (including the TLS handshake) is bounded by it.
+        self.timeout = self.server.conn_timeout  # type: ignore[attr-defined]
+        super().setup()
 
     def handle(self) -> None:  # noqa: D102 — socketserver hook
         server: CometTCPServer = self.server  # type: ignore[assignment]
         client = self.client_address[0]
         limit = server.max_frame
+        security = server.security
+        if isinstance(self.connection, ssl.SSLSocket):
+            try:
+                self.connection.do_handshake()
+            except (ssl.SSLError, OSError):
+                return  # peer does not speak TLS (or stalled past timeout)
+        authed = security is None or not security.requires_auth
+        nonce: str | None = None
         while True:
             try:
                 line = self.rfile.readline(limit + 1)
             except (ConnectionError, OSError):
-                return  # peer vanished mid-read
+                return  # peer vanished mid-read, or idled past conn_timeout
             if not line:
                 return  # clean EOF between frames
             if len(line) > limit:
@@ -143,12 +225,89 @@ class _TCPHandler(socketserver.StreamRequestHandler):
             text = line.decode("utf-8", errors="replace").strip()
             if not text:
                 continue
-            response, stop = dispatch_line(server.service, text, client=client)
-            if not self._reply(response):
-                return
-            if stop:
+            request, error = parse_request(text)
+            if error is not None:
+                if not self._reply(error):
+                    return
+                continue
+            action = request.get("action")
+            if action == "auth":
+                response, authed, nonce, close_after = self._auth_exchange(
+                    security, request, authed, nonce
+                )
+                if not self._reply(response) or close_after:
+                    return
+                continue
+            if not authed:
+                # No verb is dispatched, no quota consumed, no pickle
+                # decoded: the request dies at the transport layer.
+                response = _unauthorized_response(
+                    "this server requires authentication; complete the "
+                    "'auth' challenge-response first "
+                    "(CometClient(..., auth_token=...))",
+                    mechanism="hmac-sha256",
+                )
+                if not self._reply(response):
+                    return
+                continue
+            if action == "shutdown":
+                if not server.shutdown_allowed(client):
+                    response = _unauthorized_response(
+                        "the shutdown verb is restricted to loopback peers "
+                        "on an unauthenticated server; restart with "
+                        "--auth-token or --allow-remote-shutdown to enable "
+                        "remote shutdown"
+                    )
+                    if not self._reply(response):
+                        return
+                    continue
+                if not self._reply({"ok": True, "result": {"shutdown": True}}):
+                    return
                 server.request_shutdown()
                 return
+            if not self._reply(server.service.handle(request, client=client)):
+                return
+
+    def _auth_exchange(
+        self,
+        security: TransportSecurity | None,
+        request: dict,
+        authed: bool,
+        nonce: str | None,
+    ) -> tuple[dict, bool, str | None, bool]:
+        """One step of the transport-level ``auth`` verb.
+
+        Two-frame HMAC challenge–response: ``{"action": "auth"}`` yields
+        a single-use nonce; ``{"action": "auth", "mac": HMAC(token,
+        nonce)}`` proves possession of the shared token without it ever
+        crossing the wire. Returns ``(response, authed, nonce, close)``
+        — a failed proof closes the connection, so each retry costs the
+        peer a reconnect.
+        """
+        if security is None or not security.requires_auth:
+            return (
+                {"ok": True, "result": {"authenticated": True, "required": False}},
+                True,
+                None,
+                False,
+            )
+        mac = request.get("mac")
+        if mac is None:
+            nonce = new_nonce()
+            return (
+                {"ok": True, "result": {"nonce": nonce, "mechanism": "hmac-sha256"}},
+                authed,
+                nonce,
+                False,
+            )
+        if nonce is not None and security.check_mac(ROLE_CLIENT, nonce, mac):
+            return ({"ok": True, "result": {"authenticated": True}}, True, None, False)
+        message = (
+            "invalid auth credential"
+            if nonce is not None
+            else "no challenge outstanding; request one with {'action': 'auth'}"
+        )
+        return (_unauthorized_response(message), authed, None, True)
 
     def _drain_line(self, limit: int) -> bool:
         """Consume the oversized frame up to its newline.
@@ -194,6 +353,9 @@ class CometTCPServer(_CometServerMixin, socketserver.ThreadingTCPServer):
         address: tuple[str, int] = ("127.0.0.1", 0),
         *,
         max_frame: int = DEFAULT_MAX_FRAME,
+        security: TransportSecurity | None = None,
+        conn_timeout: float | None = None,
+        allow_remote_shutdown: bool = False,
     ) -> None:
         super().__init__(
             service,
@@ -201,6 +363,9 @@ class CometTCPServer(_CometServerMixin, socketserver.ThreadingTCPServer):
             _TCPHandler,
             max_frame=max_frame,
             thread_name="comet-tcp-server",
+            security=security,
+            conn_timeout=conn_timeout,
+            allow_remote_shutdown=allow_remote_shutdown,
         )
 
 
@@ -214,8 +379,48 @@ class _HTTPHandler(BaseHTTPRequestHandler):
     server: "CometHTTPServer"
 
     # -- plumbing ------------------------------------------------------- #
+    def setup(self) -> None:  # noqa: D102 — socketserver hook
+        # The server's idle timeout bounds every read on this connection
+        # (keep-alive waits included); http.server turns a timed-out
+        # read into a clean connection close.
+        self.timeout = self.server.conn_timeout
+        super().setup()
+
+    def handle(self) -> None:  # noqa: D102 — http.server hook
+        if isinstance(self.connection, ssl.SSLSocket):
+            try:
+                self.connection.do_handshake()
+            except (ssl.SSLError, OSError):
+                self.close_connection = True
+                return  # peer does not speak TLS
+        super().handle()
+
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         pass  # request logging is the operator's concern, not stderr's
+
+    def _authorized(self) -> bool:
+        """Bearer-token gate, applied before any verb or body handling.
+
+        An unauthorized request gets the structured 401 without its body
+        ever being read (so nothing is parsed, dispatched, or counted
+        against quotas) — and the connection closes, because the unread
+        body would desynchronize keep-alive.
+        """
+        security = self.server.security
+        if security is None or not security.requires_auth:
+            return True
+        if security.check_bearer(self.headers.get("Authorization")):
+            return True
+        self.close_connection = True
+        self._send_json(
+            401,
+            _unauthorized_response(
+                "missing or invalid Authorization header; send "
+                "'Authorization: Bearer <token>'",
+                mechanism="bearer",
+            ),
+        )
+        return False
 
     def _send_json(self, status: int, payload: dict) -> None:
         body = json.dumps(payload).encode("utf-8")
@@ -277,6 +482,8 @@ class _HTTPHandler(BaseHTTPRequestHandler):
 
     # -- methods -------------------------------------------------------- #
     def do_GET(self) -> None:  # noqa: N802 — http.server naming
+        if not self._authorized():
+            return
         parts = [p for p in self.path.split("?")[0].split("/") if p]
         if parts and parts[0] == "status" and len(parts) <= 2:
             request: dict = {"action": "status"}
@@ -292,11 +499,24 @@ class _HTTPHandler(BaseHTTPRequestHandler):
         )
 
     def do_POST(self) -> None:  # noqa: N802 — http.server naming
+        if not self._authorized():
+            return
         parts = [p for p in self.path.split("?")[0].split("/") if p]
         body = self._read_body()
         if body is None:
             return
         if parts == ["shutdown"]:
+            if not self.server.shutdown_allowed(self.client_address[0]):
+                self._send_json(
+                    403,
+                    _unauthorized_response(
+                        "POST /shutdown is restricted to loopback peers on "
+                        "an unauthenticated server; restart with "
+                        "--auth-token or --allow-remote-shutdown to enable "
+                        "remote shutdown"
+                    ),
+                )
+                return
             self._send_json(200, {"ok": True, "result": {"shutdown": True}})
             self.server.request_shutdown()
             return
@@ -334,6 +554,9 @@ class CometHTTPServer(_CometServerMixin, ThreadingHTTPServer):
         address: tuple[str, int] = ("127.0.0.1", 0),
         *,
         max_frame: int = DEFAULT_MAX_FRAME,
+        security: TransportSecurity | None = None,
+        conn_timeout: float | None = None,
+        allow_remote_shutdown: bool = False,
     ) -> None:
         super().__init__(
             service,
@@ -341,6 +564,9 @@ class CometHTTPServer(_CometServerMixin, ThreadingHTTPServer):
             _HTTPHandler,
             max_frame=max_frame,
             thread_name="comet-http-server",
+            security=security,
+            conn_timeout=conn_timeout,
+            allow_remote_shutdown=allow_remote_shutdown,
         )
 
 
@@ -418,6 +644,20 @@ class CometClient:
     backoff:
         Base seconds between connect attempts (attempt ``n`` waits
         ``n × backoff``).
+    tls:
+        Wrap the connection in TLS: ``True`` verifies the server
+        against the system CA store, a path string points at a CA
+        bundle — hand it the server's own certificate to *pin* a
+        self-signed deployment — and an ``ssl.SSLContext`` is used
+        as-is. A failed TLS handshake is never retried (it is a
+        configuration mismatch, not a transient refusal).
+    auth_token:
+        Shared token for servers started with ``--auth-token``: the
+        client runs the HMAC challenge–response right after
+        connecting, so the token never crosses the wire. A rejected
+        token raises :class:`CometClientError` with ``code ==
+        "unauthorized"`` immediately — auth failures are terminal and
+        are **not** retried by the connect-retry loop.
     """
 
     def __init__(
@@ -428,6 +668,8 @@ class CometClient:
         timeout: float | None = None,
         retries: int = 3,
         backoff: float = 0.1,
+        tls: bool | str | ssl.SSLContext | None = None,
+        auth_token: str | None = None,
     ) -> None:
         if retries < 1:
             raise ValueError(f"retries must be >= 1, got {retries}")
@@ -447,9 +689,49 @@ class CometClient:
                 port=port,
                 retries=retries,
             ) from last
+        if tls:
+            try:
+                self._sock = self._tls_context(tls).wrap_socket(
+                    self._sock, server_hostname=host
+                )
+            except (ssl.SSLError, OSError) as exc:
+                self._sock.close()
+                raise CometConnectionError(
+                    f"TLS handshake with {host}:{port} failed: {exc}",
+                    host=host,
+                    port=port,
+                ) from exc
         self._rfile = self._sock.makefile("rb")
         self._lock = threading.Lock()
         self._broken = False
+        if auth_token:
+            try:
+                self._authenticate(auth_token)
+            except BaseException:
+                self.close()
+                raise
+
+    @staticmethod
+    def _tls_context(tls: bool | str | ssl.SSLContext) -> ssl.SSLContext:
+        if isinstance(tls, ssl.SSLContext):
+            return tls
+        cafile = None if tls is True else str(tls)
+        return ssl.create_default_context(cafile=cafile)
+
+    def _authenticate(self, token: str) -> None:
+        """Run the transport-level HMAC challenge–response.
+
+        Servers without auth answer the challenge with ``authenticated``
+        directly (no nonce), so passing a token to an open server is
+        harmless.
+        """
+        challenge = self._result({"action": "auth"})
+        nonce = challenge.get("nonce")
+        if nonce is None:
+            return  # server does not require authentication
+        self._result(
+            {"action": "auth", "mac": compute_mac(token, ROLE_CLIENT, nonce)}
+        )
 
     # -- transport ------------------------------------------------------ #
     def call(self, request: dict) -> dict:
